@@ -1,0 +1,110 @@
+// Experiment S1 — end-to-end picture propagation (DESIGN.md §3).
+//
+// The §4 claim under test: "a photo uploaded by Émilien into his local
+// relation pictures@Émilien is instantly published to pictures@sigmod,
+// and then propagated to pictures@SigmodFB". We measure that pipeline —
+// upload at an attendee, conference hub, Facebook wall — in wall time
+// and in system rounds, as the batch size grows, plus the rating and
+// customization pipeline (S2).
+//
+// Expected shape: rounds to full propagation are constant (pipeline
+// depth), wall time grows linearly with batch size.
+
+#include <benchmark/benchmark.h>
+
+#include "wepic/wepic.h"
+
+namespace wdl {
+namespace {
+
+void BM_UploadToFacebookWall(benchmark::State& state) {
+  int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    WepicApp app;
+    (void)app.SetupConference();
+    (void)app.AddAttendee("Emilien");
+    (void)app.AddAttendee("Jules");
+    (void)app.Converge();
+    int rounds_before = app.system().rounds_run();
+    state.ResumeTiming();
+
+    for (int i = 0; i < batch; ++i) {
+      (void)app.UploadPicture("Emilien", i, "p" + std::to_string(i),
+                              std::string(256, 'x'));
+      (void)app.AuthorizeFacebook("Emilien", i);
+    }
+    Result<int> rounds = app.Converge(10000);
+    benchmark::DoNotOptimize(rounds);
+
+    state.PauseTiming();
+    state.counters["rounds"] =
+        rounds.ok() ? (*rounds - rounds_before) : -1;
+    state.counters["on_wall"] = static_cast<double>(
+        app.facebook().GroupPictures(kFacebookGroup).size());
+    state.counters["bytes"] = static_cast<double>(
+        app.system().network().stats().bytes_sent);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_UploadToFacebookWall)->Arg(1)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+// S2: re-convergence cost of swapping the selection rule for the
+// rating filter with a populated system.
+void BM_RuleCustomizationReconvergence(benchmark::State& state) {
+  int pictures = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    WepicApp app;
+    (void)app.SetupConference();
+    (void)app.AddAttendee("Emilien");
+    (void)app.AddAttendee("Jules");
+    app.attendee("Emilien")->gate().TrustPeer("Jules");
+    for (int i = 0; i < pictures; ++i) {
+      (void)app.UploadPicture("Emilien", i, "p" + std::to_string(i), "d");
+      (void)app.RatePicture("Emilien", i, i % 2 == 0 ? 5 : 3);
+    }
+    (void)app.SelectAttendee("Jules", "Emilien");
+    (void)app.Converge(10000);
+    state.ResumeTiming();
+
+    (void)app.InstallRatingFilter("Jules", 5);
+    Result<int> rounds = app.Converge(10000);
+    benchmark::DoNotOptimize(rounds);
+
+    state.PauseTiming();
+    state.counters["frame_size"] = static_cast<double>(
+        app.attendee("Jules")
+            ->engine()
+            .catalog()
+            .Get("attendeePictures")
+            ->size());
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_RuleCustomizationReconvergence)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+// Incremental propagation: with the pipeline warm, one more upload.
+void BM_SingleIncrementalUpload(benchmark::State& state) {
+  WepicApp app;
+  (void)app.SetupConference();
+  (void)app.AddAttendee("Emilien");
+  (void)app.Converge();
+  int64_t next_id = 0;
+  for (auto _ : state) {
+    (void)app.UploadPicture("Emilien", next_id, "inc.jpg", "d");
+    (void)app.AuthorizeFacebook("Emilien", next_id);
+    ++next_id;
+    benchmark::DoNotOptimize(app.Converge(10000));
+  }
+  state.counters["wall_size"] = static_cast<double>(
+      app.facebook().GroupPictures(kFacebookGroup).size());
+}
+BENCHMARK(BM_SingleIncrementalUpload)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace wdl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Experiment S4b — ad-hoc query cost (the §4 Query tab).
+//
+// Measures end-to-end ad-hoc queries: local single-relation scans,
+// local joins, and distributed queries whose body crosses to another
+// peer (one delegation install + teardown per query).
+//
+// Expected shape: local queries scale with data size; a distributed
+// query adds a constant delegation round-trip (install + retract), so
+// the local/distributed gap shrinks relatively as data grows.
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/query.h"
+
+namespace wdl {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+
+void Setup(System* system, int facts) {
+  Peer* a = system->CreatePeer("a");
+  Peer* b = system->CreatePeer("b");
+  a->gate().TrustPeer("b");
+  b->gate().TrustPeer("a");
+  (void)a->LoadProgramText("collection ext data@a(k: int, v: int);");
+  (void)b->LoadProgramText("collection ext data@b(k: int, v: int);");
+  for (int64_t i = 0; i < facts; ++i) {
+    (void)a->Insert(Fact("data", "a", {I(i), I(i * 2)}));
+    (void)b->Insert(Fact("data", "b", {I(i), I(i * 3)}));
+  }
+  (void)system->RunUntilQuiescent(10000);
+}
+
+void BM_Query_LocalScan(benchmark::State& state) {
+  System system;
+  Setup(&system, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<QueryResult> r = RunQuery(&system, "a", "data@a($k, $v)");
+    benchmark::DoNotOptimize(r);
+    state.counters["rows"] =
+        r.ok() ? static_cast<double>(r->rows.size()) : -1;
+  }
+}
+BENCHMARK(BM_Query_LocalScan)->Arg(100)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Query_LocalJoin(benchmark::State& state) {
+  System system;
+  Setup(&system, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<QueryResult> r =
+        RunQuery(&system, "a", "data@a($k, $v), data@a($v, $w)");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Query_LocalJoin)->Arg(100)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Query_Distributed(benchmark::State& state) {
+  System system;
+  Setup(&system, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Result<QueryResult> r =
+        RunQuery(&system, "a", "data@a($k, $v), data@b($k, $w)");
+    benchmark::DoNotOptimize(r);
+    state.counters["rows"] =
+        r.ok() ? static_cast<double>(r->rows.size()) : -1;
+    state.counters["rounds"] = r.ok() ? r->rounds : -1;
+  }
+}
+BENCHMARK(BM_Query_Distributed)->Arg(100)->Arg(10000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace wdl
+
+BENCHMARK_MAIN();

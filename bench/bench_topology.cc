@@ -1,0 +1,118 @@
+// Experiment F2 — the Figure 2 topology (DESIGN.md §3).
+//
+// Regenerates the paper's deployment picture as data: the three Wepic
+// peers (Émilien, Jules, sigmod) plus the SigmodFB wrapper, with a LAN
+// link between the laptops and a slower "cloud" link to sigmod. Runs
+// the §4 demo workload and reports per-edge message counts — the
+// arrows of Figure 2 — and the effect of cloud latency on rounds to
+// convergence.
+//
+// Expected shape: traffic concentrates on the attendee->sigmod edges
+// (publication) and the delegation edges between laptops; higher cloud
+// latency stretches rounds-to-convergence but not message counts.
+
+#include <benchmark/benchmark.h>
+
+#include "wepic/wepic.h"
+
+namespace wdl {
+namespace {
+
+void RunDemoWorkload(WepicApp* app) {
+  (void)app->UploadPicture("Emilien", 1, "sea.jpg", "b1");
+  (void)app->UploadPicture("Jules", 2, "dinner.jpg", "b2");
+  (void)app->AuthorizeFacebook("Emilien", 1);
+  (void)app->SelectAttendee("Jules", "Emilien");
+  (void)app->Converge(10000);
+}
+
+void BM_Figure2Topology(benchmark::State& state) {
+  // Cloud latency in rounds: 0.5 (LAN-like) scaled by the arg.
+  double cloud_latency = 0.5 * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    WepicApp app;
+    (void)app.SetupConference();
+    (void)app.AddAttendee("Emilien");
+    (void)app.AddAttendee("Jules");
+    app.attendee("Emilien")->gate().TrustPeer("Jules");
+    app.attendee("Jules")->gate().TrustPeer("Emilien");
+    // Laptops are LAN-adjacent; everything to/from the cloud peers is
+    // slower.
+    SimulatedNetwork& net = app.system().network();
+    for (const std::string& laptop : {"Emilien", "Jules"}) {
+      for (const std::string& cloud : {"sigmod", "SigmodFB"}) {
+        net.SetLink(laptop, cloud, LinkConfig{.latency = cloud_latency});
+        net.SetLink(cloud, laptop, LinkConfig{.latency = cloud_latency});
+      }
+    }
+    net.ResetStats();
+    int rounds_before = app.system().rounds_run();
+    state.ResumeTiming();
+
+    RunDemoWorkload(&app);
+
+    state.PauseTiming();
+    state.counters["rounds"] =
+        app.system().rounds_run() - rounds_before;
+    state.counters["messages"] = static_cast<double>(
+        net.stats().messages_submitted);
+    state.counters["bytes"] = static_cast<double>(net.stats().bytes_sent);
+    // The Figure 2 arrows, aggregated: laptop<->laptop vs laptop<->cloud.
+    uint64_t lan = 0, wan = 0;
+    for (const auto& [edge, count] : net.edge_message_counts()) {
+      bool a_laptop = edge.first == "Emilien" || edge.first == "Jules";
+      bool b_laptop = edge.second == "Emilien" || edge.second == "Jules";
+      if (a_laptop && b_laptop) {
+        lan += count;
+      } else {
+        wan += count;
+      }
+    }
+    state.counters["lan_msgs"] = static_cast<double>(lan);
+    state.counters["wan_msgs"] = static_cast<double>(wan);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Figure2Topology)->Arg(1)->Arg(3)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+// Demo-floor wifi jitter: the same workload with heavy delivery-time
+// jitter, which reorders messages across the cloud links. The staged
+// protocol is insensitive to reordering (derived sets are full-state
+// replacements and updates are idempotent), so the workload converges
+// to the same wall contents — at the cost of extra rounds.
+void BM_JitteryNetwork(benchmark::State& state) {
+  double jitter = 0.5 * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    WepicApp app(WepicOptions{.network_seed = 7});
+    (void)app.SetupConference();
+    (void)app.AddAttendee("Emilien");
+    (void)app.AddAttendee("Jules");
+    app.attendee("Emilien")->gate().TrustPeer("Jules");
+    app.attendee("Jules")->gate().TrustPeer("Emilien");
+    SimulatedNetwork& net = app.system().network();
+    for (const std::string& a : app.system().PeerNames()) {
+      for (const std::string& b : app.system().PeerNames()) {
+        if (a != b) {
+          net.SetLink(a, b, LinkConfig{.latency = 0.5, .jitter = jitter});
+        }
+      }
+    }
+    state.ResumeTiming();
+    RunDemoWorkload(&app);
+    state.PauseTiming();
+    state.counters["rounds"] = app.system().rounds_run();
+    state.counters["wall_pictures"] = static_cast<double>(
+        app.facebook().GroupPictures(kFacebookGroup).size());
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_JitteryNetwork)->Arg(0)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace wdl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// The §4 "Customizing rules" scenario: the most novel trait of Wepic is
+// that users can replace the application's rules. Here Jules swaps the
+// default selection rule for the rating-5 filter and the frame changes
+// content; then he customizes further (pictures where "Serge" appears),
+// exactly the follow-up the demo invites the audience to try.
+//
+// Run:  ./build/examples/customize_rules
+
+#include <cstdio>
+
+#include "wepic/wepic.h"
+
+int main() {
+  wdl::WepicApp app;
+  if (!app.SetupConference().ok()) return 1;
+  if (!app.AddAttendee("Emilien").ok()) return 1;
+  if (!app.AddAttendee("Jules").ok()) return 1;
+  app.attendee("Emilien")->gate().TrustPeer("Jules");
+  app.attendee("Jules")->gate().TrustPeer("Emilien");
+
+  (void)app.UploadPicture("Emilien", 1, "panel.jpg", "b1");
+  (void)app.UploadPicture("Emilien", 2, "coffee.jpg", "b2");
+  (void)app.UploadPicture("Emilien", 3, "keynote.jpg", "b3");
+  (void)app.RatePicture("Emilien", 1, 5);
+  (void)app.RatePicture("Emilien", 2, 3);
+  (void)app.RatePicture("Emilien", 3, 5);
+  (void)app.TagPicture("Emilien", 1, "Serge");
+  (void)app.SelectAttendee("Jules", "Emilien");
+  (void)app.Converge();
+
+  std::printf("---- default rule: all pictures of selected attendees\n%s\n",
+              app.RenderAttendeePicturesFrame("Jules").c_str());
+
+  // Customization 1 (§4 verbatim): only pictures rated 5.
+  if (!app.InstallRatingFilter("Jules", 5).ok()) return 1;
+  (void)app.Converge();
+  std::printf("---- customized: only pictures rated 5\n%s\n",
+              app.RenderAttendeePicturesFrame("Jules").c_str());
+
+  // Customization 2 (the audience's follow-up): only pictures in which
+  // a certain attendee appears, via the owner's tag relation.
+  wdl::Peer* jules = app.attendee("Jules");
+  for (const wdl::InstalledRule* r : jules->engine().rules()) {
+    if (r->rule.head.relation.is_name() &&
+        r->rule.head.relation.name() == "attendeePictures") {
+      (void)jules->engine().RemoveRule(r->id);
+      break;
+    }
+  }
+  wdl::Result<uint64_t> added = jules->AddRuleText(R"(
+    attendeePictures@Jules($id, $name, $owner, $data) :-
+        selectedAttendee@Jules($attendee),
+        pictures@$attendee($id, $name, $owner, $data),
+        tag@$owner($id, "Serge")
+  )");
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+    return 1;
+  }
+  (void)app.Converge();
+  std::printf("---- customized further: only pictures tagged \"Serge\"\n%s",
+              app.RenderAttendeePicturesFrame("Jules").c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The §4 "Interaction via Facebook" scenario in both directions, plus
+// the §2 user-account wrapper (friends@ÉmilienFB / pictures@ÉmilienFB)
+// used from a rule — showing that a Wepic user can see and publish
+// Facebook content "even without having a Facebook account".
+//
+// Run:  ./build/examples/facebook_sync
+
+#include <cstdio>
+
+#include "wepic/wepic.h"
+#include "wrappers/facebook_wrapper.h"
+
+int main() {
+  wdl::WepicApp app;
+  if (!app.SetupConference().ok()) return 1;
+  if (!app.AddAttendee("Emilien").ok()) return 1;
+  if (!app.AddAttendee("Jules").ok()) return 1;
+
+  // Direction 1: local upload -> pictures@sigmod -> (authorized) ->
+  // pictures@SigmodFB -> the actual wall.
+  (void)app.UploadPicture("Emilien", 1, "sea.jpg", "...");
+  (void)app.AuthorizeFacebook("Emilien", 1);
+  (void)app.Converge();
+  std::printf("wall after Emilien's authorized upload:\n");
+  for (const auto& pic : app.facebook().GroupPictures(wdl::kFacebookGroup)) {
+    std::printf("  #%lld %s by %s\n", static_cast<long long>(pic.id),
+                pic.name.c_str(), pic.owner.c_str());
+  }
+
+  // Direction 2: someone posts straight on the wall; the sigmod peer
+  // retrieves it, so every Wepic user can see it without a Facebook
+  // account.
+  (void)app.facebook().PostPicture(
+      wdl::kFacebookGroup, {42, "banquet.jpg", "Jules", "wallbytes"});
+  (void)app.Converge();
+  std::printf("\npictures@sigmod after a direct wall post:\n%s",
+              app.sigmod()->RenderRelation("pictures").c_str());
+
+  // The §2 user-account wrapper: Émilien's Facebook account as two
+  // relations, joined by an ordinary WebdamLog rule.
+  app.facebook().AddFriendship("Emilien", "Jules");
+  app.facebook().AddFriendship("Emilien", "Serge");
+  wdl::Peer* emilien_fb = app.system().CreatePeer("EmilienFB");
+  (void)app.system().AttachWrapper(
+      std::make_unique<wdl::FacebookUserWrapper>("EmilienFB",
+                                                 &app.facebook(),
+                                                 "Emilien"));
+  wdl::Status st = emilien_fb->LoadProgramText(R"(
+    collection int fofNames@EmilienFB(name: string);
+    rule fofNames@EmilienFB($f) :- friends@EmilienFB($me, $f);
+  )");
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  (void)app.Converge();
+  std::printf("\nfriends exported by the account wrapper:\n%s",
+              emilien_fb->RenderRelation("fofNames").c_str());
+  return 0;
+}

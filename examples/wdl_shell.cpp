@@ -1,0 +1,190 @@
+// wdl_shell — a scriptable WebdamLog console, the programmatic
+// counterpart of the demo's Web UI (§4: audience members "launch their
+// own autonomous Wepic peers ... and interact with their peer through a
+// UI", including a Query tab for ad-hoc queries).
+//
+// Reads commands from a script file (or stdin with no argument):
+//
+//   peer NAME                   create a peer
+//   trust NAME ORIGIN           NAME's gate trusts ORIGIN
+//   program NAME ... end        load WebdamLog statements at NAME
+//   insert FACT;                insert a ground fact at its peer
+//   delete FACT;                remove a ground fact from its peer
+//   run                         run the system to quiescence
+//   query NAME BODY;            ad-hoc query at NAME (§4 Query tab)
+//   show NAME RELATION          print a relation
+//   rules NAME                  print NAME's program (Figure 3 view)
+//   pending NAME                print NAME's pending delegations
+//   approve NAME KEY            approve a pending delegation
+//   save NAME FILE              dump NAME's durable state to FILE
+//   stats                       network statistics
+//   # comment / blank lines     ignored
+//
+// Run:  ./build/examples/wdl_shell            (demo script built in)
+//       ./build/examples/wdl_shell my.wdlsh
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "parser/parser.h"
+#include "runtime/query.h"
+#include "runtime/system.h"
+
+namespace {
+
+constexpr char kDemoScript[] = R"(# Built-in demo: two peers, delegation, a query.
+peer alice
+peer bob
+trust bob alice
+trust alice bob
+program alice
+  collection ext contacts@alice(peer: string);
+  collection int news@alice(headline: string);
+  fact contacts@alice("bob");
+  rule news@alice($h) :- contacts@alice($p), posts@$p($h);
+end
+program bob
+  collection ext posts@bob(headline: string);
+  fact posts@bob("bob got a dog");
+end
+run
+show alice news
+rules bob
+insert posts@bob("bob wrote a paper");
+run
+show alice news
+query alice contacts@alice($p), posts@$p($h);
+stats
+)";
+
+std::string FirstWord(std::string* line) {
+  std::istringstream in(*line);
+  std::string word;
+  in >> word;
+  std::string rest;
+  std::getline(in, rest);
+  size_t start = rest.find_first_not_of(" \t");
+  *line = start == std::string::npos ? "" : rest.substr(start);
+  return word;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::istringstream demo(kDemoScript);
+  std::ifstream file;
+  std::istream* in = &demo;
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    in = &std::cin;  // pipe a script in
+  } else if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    in = &file;
+  } else {
+    std::printf("(no script given; running the built-in demo)\n");
+  }
+
+  wdl::System system;
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& msg) {
+    std::fprintf(stderr, "line %d: %s\n", lineno, msg.c_str());
+  };
+
+  while (std::getline(*in, line)) {
+    ++lineno;
+    std::string rest = line;
+    std::string cmd = FirstWord(&rest);
+    if (cmd.empty() || cmd[0] == '#') continue;
+
+    if (cmd == "peer") {
+      system.CreatePeer(rest);
+      std::printf("created peer %s\n", rest.c_str());
+    } else if (cmd == "trust") {
+      std::string who = FirstWord(&rest);
+      wdl::Peer* p = system.GetPeer(who);
+      if (p == nullptr) { fail("no peer " + who); continue; }
+      p->gate().TrustPeer(rest);
+    } else if (cmd == "program") {
+      std::string peer_name = rest;
+      wdl::Peer* p = system.GetPeer(peer_name);
+      if (p == nullptr) { fail("no peer " + peer_name); continue; }
+      std::string source, stmt_line;
+      while (std::getline(*in, stmt_line)) {
+        ++lineno;
+        std::string probe = stmt_line;
+        if (FirstWord(&probe) == "end") break;
+        source += stmt_line + "\n";
+      }
+      wdl::Status st = p->LoadProgramText(source);
+      if (!st.ok()) fail(st.ToString());
+    } else if (cmd == "insert" || cmd == "delete") {
+      wdl::Result<wdl::Fact> fact = wdl::ParseFact(rest);
+      if (!fact.ok()) { fail(fact.status().ToString()); continue; }
+      wdl::Peer* p = system.GetPeer(fact->peer);
+      if (p == nullptr) { fail("no peer " + fact->peer); continue; }
+      wdl::Result<bool> r = cmd == "insert" ? p->Insert(*fact)
+                                            : p->Remove(*fact);
+      if (!r.ok()) fail(r.status().ToString());
+    } else if (cmd == "run") {
+      wdl::Result<int> rounds = system.RunUntilQuiescent();
+      if (rounds.ok()) {
+        std::printf("quiescent after %d rounds\n", *rounds);
+      } else {
+        fail(rounds.status().ToString());
+      }
+    } else if (cmd == "query") {
+      std::string peer_name = FirstWord(&rest);
+      if (!rest.empty() && rest.back() == ';') rest.pop_back();
+      wdl::Result<wdl::QueryResult> r =
+          wdl::RunQuery(&system, peer_name, rest);
+      if (r.ok()) {
+        std::printf("query at %s: %s", peer_name.c_str(),
+                    r->ToString().c_str());
+      } else {
+        fail(r.status().ToString());
+      }
+    } else if (cmd == "show") {
+      std::string peer_name = FirstWord(&rest);
+      wdl::Peer* p = system.GetPeer(peer_name);
+      if (p == nullptr) { fail("no peer " + peer_name); continue; }
+      std::printf("%s", p->RenderRelation(rest).c_str());
+    } else if (cmd == "rules") {
+      wdl::Peer* p = system.GetPeer(rest);
+      if (p == nullptr) { fail("no peer " + rest); continue; }
+      std::printf("%s", p->RenderProgramView().c_str());
+    } else if (cmd == "pending") {
+      wdl::Peer* p = system.GetPeer(rest);
+      if (p == nullptr) { fail("no peer " + rest); continue; }
+      std::printf("%s", p->gate().RenderPending().c_str());
+    } else if (cmd == "approve") {
+      std::string peer_name = FirstWord(&rest);
+      wdl::Peer* p = system.GetPeer(peer_name);
+      if (p == nullptr) { fail("no peer " + peer_name); continue; }
+      wdl::Status st = p->ApproveDelegation(std::stoull(rest));
+      if (!st.ok()) fail(st.ToString());
+    } else if (cmd == "save") {
+      std::string peer_name = FirstWord(&rest);
+      wdl::Peer* p = system.GetPeer(peer_name);
+      if (p == nullptr) { fail("no peer " + peer_name); continue; }
+      std::ofstream out(rest);
+      out << p->engine().DumpAsProgramText();
+      std::printf("saved %s to %s\n", peer_name.c_str(), rest.c_str());
+    } else if (cmd == "stats") {
+      const wdl::NetworkStats& s = system.network().stats();
+      std::printf("network: %llu msgs, %llu bytes, %llu dropped\n",
+                  static_cast<unsigned long long>(s.messages_submitted),
+                  static_cast<unsigned long long>(s.bytes_sent),
+                  static_cast<unsigned long long>(s.messages_dropped));
+    } else {
+      fail("unknown command '" + cmd + "'");
+    }
+  }
+  return 0;
+}

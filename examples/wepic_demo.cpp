@@ -1,0 +1,84 @@
+// The full Wepic demonstration of §4: the Figure 2 topology (Émilien's
+// and Jules' laptops, the sigmod cloud peer, the SigmodFB wrapper),
+// picture upload and propagation, the Figure 1 "Attendee pictures"
+// frame, and the protocol-based transfer over email.
+//
+// Run:  ./build/examples/wepic_demo
+
+#include <cstdio>
+
+#include "wepic/wepic.h"
+
+namespace {
+
+void Banner(const char* title) {
+  std::printf("\n================ %s ================\n", title);
+}
+
+}  // namespace
+
+int main() {
+  wdl::WepicApp app;
+  if (!app.SetupConference().ok()) return 1;
+  if (!app.AddAttendee("Emilien").ok()) return 1;
+  if (!app.AddAttendee("Jules").ok()) return 1;
+  // The two demo laptops trust each other (§4 focuses the delegation-
+  // control scenario on Julia; see examples/delegation_control.cpp).
+  app.attendee("Emilien")->gate().TrustPeer("Jules");
+  app.attendee("Jules")->gate().TrustPeer("Emilien");
+
+  Banner("Setup (Figure 2)");
+  std::printf("peers: ");
+  for (const std::string& name : app.system().PeerNames()) {
+    std::printf("%s ", name.c_str());
+  }
+  std::printf("\n\nThe standard attendee program (Jules):\n%s",
+              wdl::WepicApp::AttendeeProgramText("Jules").c_str());
+
+  Banner("Scenario: upload & publication");
+  (void)app.UploadPicture("Emilien", 1, "sea.jpg", "\x89PNG...sea");
+  (void)app.UploadPicture("Emilien", 2, "boat.jpg", "\x89PNG...boat");
+  (void)app.UploadPicture("Jules", 3, "dinner.jpg", "\x89PNG...dinner");
+  wdl::Result<int> rounds = app.Converge();
+  if (!rounds.ok()) return 1;
+  std::printf("converged in %d rounds\n", *rounds);
+  std::printf("%s", app.sigmod()->RenderRelation("pictures").c_str());
+
+  Banner("Scenario: the Attendee-pictures frame (Figure 1)");
+  (void)app.SelectAttendee("Jules", "Emilien");
+  (void)app.Converge();
+  std::printf("%s", app.RenderAttendeePicturesFrame("Jules").c_str());
+
+  Banner("Scenario: Facebook publication (authorized only)");
+  (void)app.AuthorizeFacebook("Emilien", 1);  // sea.jpg only
+  (void)app.Converge();
+  std::printf("pictures on the SigmodFB wall:\n");
+  for (const auto& pic : app.facebook().GroupPictures(wdl::kFacebookGroup)) {
+    std::printf("  #%lld %s (by %s)\n", static_cast<long long>(pic.id),
+                pic.name.c_str(), pic.owner.c_str());
+  }
+
+  Banner("Scenario: transfer over the preferred protocol");
+  (void)app.SetCommunicationProtocol("Emilien", "email");
+  (void)app.SelectPicture("Jules", "dinner.jpg", 3, "Jules");
+  (void)app.Converge();
+  const auto& inbox = app.email().InboxOf("Emilien@example.org");
+  std::printf("Emilien's inbox has %zu message(s)\n", inbox.size());
+  for (const auto& mail : inbox) {
+    std::printf("  from %s: %s\n", mail.from.c_str(), mail.subject.c_str());
+  }
+
+  Banner("Network statistics");
+  const wdl::NetworkStats& stats = app.system().network().stats();
+  std::printf("messages: %llu submitted, %llu delivered, %llu bytes\n",
+              static_cast<unsigned long long>(stats.messages_submitted),
+              static_cast<unsigned long long>(stats.messages_delivered),
+              static_cast<unsigned long long>(stats.bytes_sent));
+  std::printf("per-edge traffic (the Figure 2 arrows):\n");
+  for (const auto& [edge, count] :
+       app.system().network().edge_message_counts()) {
+    std::printf("  %-10s -> %-10s : %llu\n", edge.first.c_str(),
+                edge.second.c_str(), static_cast<unsigned long long>(count));
+  }
+  return 0;
+}

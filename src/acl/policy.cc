@@ -1,0 +1,149 @@
+#include "acl/policy.h"
+
+namespace wdl {
+
+const char* PrivilegeToString(Privilege privilege) {
+  switch (privilege) {
+    case Privilege::kRead: return "read";
+    case Privilege::kWrite: return "write";
+    case Privilege::kGrant: return "grant";
+  }
+  return "?";
+}
+
+Status AccessPolicy::RegisterRelation(const std::string& predicate,
+                                      const std::string& owner) {
+  auto [it, inserted] = entries_.emplace(predicate, Entry{});
+  if (!inserted) {
+    return Status::AlreadyExists("relation " + predicate +
+                                 " already registered");
+  }
+  it->second.owner = owner;
+  return Status::OK();
+}
+
+Status AccessPolicy::RegisterView(const std::string& view,
+                                  const std::vector<std::string>& bases) {
+  auto it = entries_.find(view);
+  if (it == entries_.end()) {
+    return Status::NotFound("view " + view + " is not registered");
+  }
+  for (const std::string& base : bases) {
+    if (!entries_.count(base)) {
+      return Status::NotFound("base relation " + base +
+                              " of view " + view + " is not registered");
+    }
+  }
+  it->second.bases = bases;
+  return Status::OK();
+}
+
+const AccessPolicy::Entry* AccessPolicy::Find(
+    const std::string& predicate) const {
+  auto it = entries_.find(predicate);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status AccessPolicy::Grant(const std::string& predicate,
+                           const std::string& grantor,
+                           const std::string& grantee,
+                           Privilege privilege) {
+  auto it = entries_.find(predicate);
+  if (it == entries_.end()) {
+    return Status::NotFound("relation " + predicate + " is not registered");
+  }
+  Entry& e = it->second;
+  bool may_grant = grantor == e.owner ||
+                   (e.grants.count(Privilege::kGrant) &&
+                    e.grants.at(Privilege::kGrant).count(grantor));
+  if (!may_grant) {
+    return Status::PermissionDenied("peer " + grantor +
+                                    " may not grant on " + predicate);
+  }
+  e.grants[privilege].insert(grantee);
+  return Status::OK();
+}
+
+Status AccessPolicy::Revoke(const std::string& predicate,
+                            const std::string& revoker,
+                            const std::string& grantee,
+                            Privilege privilege) {
+  auto it = entries_.find(predicate);
+  if (it == entries_.end()) {
+    return Status::NotFound("relation " + predicate + " is not registered");
+  }
+  Entry& e = it->second;
+  bool may_revoke = revoker == e.owner ||
+                    (e.grants.count(Privilege::kGrant) &&
+                     e.grants.at(Privilege::kGrant).count(revoker));
+  if (!may_revoke) {
+    return Status::PermissionDenied("peer " + revoker +
+                                    " may not revoke on " + predicate);
+  }
+  auto grants_it = e.grants.find(privilege);
+  if (grants_it == e.grants.end() || !grants_it->second.erase(grantee)) {
+    return Status::NotFound("no such grant to revoke");
+  }
+  return Status::OK();
+}
+
+bool AccessPolicy::CheckDirect(const std::string& predicate,
+                               const std::string& peer,
+                               Privilege privilege) const {
+  const Entry* e = Find(predicate);
+  if (e == nullptr) return false;
+  if (peer == e->owner) return true;
+  auto it = e->grants.find(privilege);
+  return it != e->grants.end() && it->second.count(peer) > 0;
+}
+
+bool AccessPolicy::CheckRead(const std::string& predicate,
+                             const std::string& peer) const {
+  std::set<std::string> visiting;
+  return CheckReadRec(predicate, peer, &visiting);
+}
+
+bool AccessPolicy::CheckReadRec(const std::string& predicate,
+                                const std::string& peer,
+                                std::set<std::string>* visiting) const {
+  const Entry* e = Find(predicate);
+  if (e == nullptr) return false;
+  if (peer == e->owner) return true;
+  // Explicit read grant on the predicate itself wins — for views this
+  // is the declassification override.
+  auto it = e->grants.find(Privilege::kRead);
+  if (it != e->grants.end() && it->second.count(peer)) return true;
+  if (e->bases.empty()) return false;  // plain relation, no grant
+  // Provenance-derived default: readable iff every base is readable.
+  if (!visiting->insert(predicate).second) {
+    return false;  // cyclic view definition: deny conservatively
+  }
+  for (const std::string& base : e->bases) {
+    if (!CheckReadRec(base, peer, visiting)) {
+      visiting->erase(predicate);
+      return false;
+    }
+  }
+  visiting->erase(predicate);
+  return true;
+}
+
+Status AccessPolicy::Declassify(const std::string& view,
+                                const std::string& owner,
+                                const std::string& grantee) {
+  const Entry* e = Find(view);
+  if (e == nullptr) {
+    return Status::NotFound("view " + view + " is not registered");
+  }
+  if (e->bases.empty()) {
+    return Status::FailedPrecondition(view + " is not a view");
+  }
+  return Grant(view, owner, grantee, Privilege::kRead);
+}
+
+std::string AccessPolicy::OwnerOf(const std::string& predicate) const {
+  const Entry* e = Find(predicate);
+  return e == nullptr ? "" : e->owner;
+}
+
+}  // namespace wdl

@@ -1,0 +1,95 @@
+#ifndef WDL_ACL_POLICY_H_
+#define WDL_ACL_POLICY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace wdl {
+
+/// Privileges on a relation.
+enum class Privilege : uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kGrant = 2,  // may extend grants to further peers
+};
+
+const char* PrivilegeToString(Privilege privilege);
+
+/// The access-control model the paper sketches as "under active
+/// investigation" (§2): a combination of
+///  - discretionary grants — owners grant rights on stored relations
+///    they own, and may delegate granting itself (kGrant);
+///  - mandatory provenance-derived policy for views — by default, a
+///    peer may read a derived relation only if it may read *every* base
+///    relation the view is derived from (intersection semantics);
+///  - declassification — the view owner may override the derived
+///    policy with explicit grants, "declassifying" some data.
+///
+/// Relations are identified by predicate id ("relation@peer"). This
+/// module is policy bookkeeping only; enforcement points live in the
+/// runtime (delegation screening) and in applications.
+class AccessPolicy {
+ public:
+  AccessPolicy() = default;
+
+  /// Registers a stored relation with its owning peer. Owners hold all
+  /// privileges implicitly.
+  Status RegisterRelation(const std::string& predicate,
+                          const std::string& owner);
+
+  /// Registers `view` as derived from `bases` (predicate ids). The view
+  /// must already be registered (it has an owner too).
+  Status RegisterView(const std::string& view,
+                      const std::vector<std::string>& bases);
+
+  /// `grantor` grants `privilege` on `predicate` to `grantee`.
+  /// Requires grantor to be the owner or to hold kGrant on it.
+  Status Grant(const std::string& predicate, const std::string& grantor,
+               const std::string& grantee, Privilege privilege);
+
+  /// Removes a previously granted privilege (owner or kGrant holder).
+  Status Revoke(const std::string& predicate, const std::string& revoker,
+                const std::string& grantee, Privilege privilege);
+
+  /// Direct privilege check against stored grants (no view derivation).
+  bool CheckDirect(const std::string& predicate, const std::string& peer,
+                   Privilege privilege) const;
+
+  /// Full read check: for plain relations this is CheckDirect; for
+  /// views, explicit grants on the view win (declassification),
+  /// otherwise read access is the intersection over all base relations
+  /// (computed recursively through view-over-view chains).
+  bool CheckRead(const std::string& predicate,
+                 const std::string& peer) const;
+
+  /// Declassifies: the view's owner grants `grantee` read access that
+  /// overrides the provenance-derived policy. Sugar over Grant(kRead).
+  Status Declassify(const std::string& view, const std::string& owner,
+                    const std::string& grantee);
+
+  /// The owner of a registered predicate, or empty when unknown.
+  std::string OwnerOf(const std::string& predicate) const;
+
+ private:
+  struct Entry {
+    std::string owner;
+    // privilege -> peers holding it via explicit grant
+    std::map<Privilege, std::set<std::string>> grants;
+    std::vector<std::string> bases;  // nonempty => view
+  };
+
+  bool CheckReadRec(const std::string& predicate, const std::string& peer,
+                    std::set<std::string>* visiting) const;
+
+  const Entry* Find(const std::string& predicate) const;
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_ACL_POLICY_H_

@@ -1,0 +1,38 @@
+#include "acl/provenance_policy.h"
+
+namespace wdl {
+
+std::string PredicateOwner(const std::string& predicate) {
+  size_t at = predicate.find('@');
+  return at == std::string::npos ? "" : predicate.substr(at + 1);
+}
+
+Status DerivePolicyFromRules(const std::vector<Rule>& rules,
+                             AccessPolicy* policy) {
+  LineageMap lineage = ComputeLineage(rules);
+
+  auto ensure_registered = [&](const std::string& predicate) {
+    if (!policy->OwnerOf(predicate).empty()) return;
+    // The wildcard gets an owner nobody can be ("*"), so provenance
+    // checks through it always deny for real peers.
+    std::string owner = predicate == kWildcardPredicate
+                            ? "*"
+                            : PredicateOwner(predicate);
+    (void)policy->RegisterRelation(predicate, owner);
+  };
+
+  for (const auto& [view, bases] : lineage) {
+    ensure_registered(view);
+    std::vector<std::string> base_list;
+    for (const std::string& base : bases) {
+      ensure_registered(base);
+      base_list.push_back(base);
+    }
+    if (!base_list.empty()) {
+      WDL_RETURN_IF_ERROR(policy->RegisterView(view, base_list));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace wdl

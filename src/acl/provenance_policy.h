@@ -1,0 +1,36 @@
+#ifndef WDL_ACL_PROVENANCE_POLICY_H_
+#define WDL_ACL_PROVENANCE_POLICY_H_
+
+#include <vector>
+
+#include "acl/policy.h"
+#include "analysis/lineage.h"
+#include "ast/rule.h"
+#include "base/result.h"
+
+namespace wdl {
+
+/// Derives the paper's sketched default view policy from rule
+/// provenance: every head predicate of `rules` is registered in
+/// `policy` as a view over its lineage (the base predicates it
+/// transitively reads), owned by the peer component of its predicate
+/// id. After this call, AccessPolicy::CheckRead on a derived predicate
+/// implements "access rights are derived according to system-wide
+/// conventions" — readable only by peers that may read every base —
+/// until the owner declassifies.
+///
+/// Base predicates in the lineage that are not yet registered are
+/// registered on the fly, owned by their peer component. Views whose
+/// lineage contains the wildcard "*" (an atom with a variable relation
+/// or peer) are registered over a wildcard relation owned by nobody,
+/// so provenance-derived reads on them always deny — the conservative
+/// choice for a view that may read anything.
+Status DerivePolicyFromRules(const std::vector<Rule>& rules,
+                             AccessPolicy* policy);
+
+/// The peer component of a "relation@peer" predicate id ("" if none).
+std::string PredicateOwner(const std::string& predicate);
+
+}  // namespace wdl
+
+#endif  // WDL_ACL_PROVENANCE_POLICY_H_

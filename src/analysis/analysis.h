@@ -1,0 +1,64 @@
+#ifndef WDL_ANALYSIS_ANALYSIS_H_
+#define WDL_ANALYSIS_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/result.h"
+
+namespace wdl {
+
+/// Language dialect selector.
+///  - kPaper2013 reproduces the system exactly as demonstrated: negation
+///    is parsed but *rejected at validation time* ("Although negation is
+///    supported by the language, it is not yet implemented in the
+///    WebdamLog system", §2).
+///  - kExtended enables stratified negation, the documented extension.
+enum class Dialect : uint8_t {
+  kPaper2013 = 0,
+  kExtended = 1,
+};
+
+/// Checks the WebdamLog well-formedness conditions on a single rule:
+///
+///  1. Left-to-right bindability: walking the body in order, every
+///     relation/peer variable must be bound by a *previous* positive
+///     atom by the time its atom is reached (the first atom therefore
+///     needs a concrete relation and peer). This is the paper's "rule
+///     bodies are evaluated from left to right; the order matters".
+///  2. Negation safety: every variable of a negated atom (including its
+///     relation/peer position) must be bound by previous positive atoms.
+///  3. Head safety (range restriction): every head variable must be
+///     bound by the positive body; a body-less rule must be ground.
+Status CheckRuleSafety(const Rule& rule);
+
+/// Result of stratifying a rule set for negation.
+struct Stratification {
+  /// stratum[i] is the stratum of rules[i]; strata are dense from 0.
+  std::vector<int> rule_stratum;
+  int num_strata = 1;
+};
+
+/// Stratifies `rules` by predicate dependency. Atoms whose relation or
+/// peer is a variable are modeled with the wildcard predicate "*"
+/// (including negated ones — their location resolves at evaluation
+/// time). Returns FailedPrecondition when negation occurs inside a
+/// dependency cycle.
+Result<Stratification> Stratify(const std::vector<Rule>& rules);
+
+/// Validates a whole parsed program under `dialect`:
+///  - every rule passes CheckRuleSafety;
+///  - under kPaper2013, any negated atom is rejected (Unimplemented);
+///  - under kExtended, the rule set must stratify;
+///  - declarations are not duplicated and facts respect the arity and
+///    column types of matching declarations.
+Status ValidateProgram(const Program& program, Dialect dialect);
+
+/// True when `value` is acceptable in a column of type `type`
+/// (kAny accepts everything; otherwise tags must match).
+bool ValueMatchesType(const Value& value, ValueKind type);
+
+}  // namespace wdl
+
+#endif  // WDL_ANALYSIS_ANALYSIS_H_

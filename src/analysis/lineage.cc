@@ -1,0 +1,59 @@
+#include "analysis/lineage.h"
+
+namespace wdl {
+
+namespace {
+
+std::string PredicateOf(const Atom& atom) {
+  if (!atom.HasConcreteLocation()) return kWildcardPredicate;
+  return atom.PredicateId();
+}
+
+}  // namespace
+
+LineageMap ComputeLineage(const std::vector<Rule>& rules) {
+  // Direct dependencies per head predicate.
+  std::map<std::string, std::set<std::string>> direct;
+  std::set<std::string> defined;
+  for (const Rule& rule : rules) {
+    std::string head = PredicateOf(rule.head);
+    defined.insert(head);
+    for (const Atom& atom : rule.body) {
+      direct[head].insert(PredicateOf(atom));
+    }
+  }
+
+  // Transitive closure down to base predicates (not defined by any
+  // rule). Iterate to fixpoint; the dependency graph is small (one node
+  // per predicate), so the simple loop is fine even with cycles.
+  LineageMap lineage;
+  for (const auto& [head, deps] : direct) {
+    lineage[head] = {};
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [head, bases] : lineage) {
+      for (const std::string& dep : direct[head]) {
+        if (defined.count(dep) && dep != head) {
+          // Derived dependency: absorb its (current) base set.
+          for (const std::string& base : lineage[dep]) {
+            changed |= bases.insert(base).second;
+          }
+        } else if (!defined.count(dep)) {
+          changed |= bases.insert(dep).second;
+        }
+        // Self-recursive heads contribute no *base* by themselves.
+      }
+    }
+  }
+  return lineage;
+}
+
+std::set<std::string> LineageOf(const LineageMap& lineage,
+                                const std::string& predicate) {
+  auto it = lineage.find(predicate);
+  return it == lineage.end() ? std::set<std::string>{} : it->second;
+}
+
+}  // namespace wdl

@@ -1,0 +1,42 @@
+#ifndef WDL_ANALYSIS_LINEAGE_H_
+#define WDL_ANALYSIS_LINEAGE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+#include "base/result.h"
+
+namespace wdl {
+
+/// Predicate-level lineage: for every predicate defined by some rule
+/// head, the set of *base* predicates (those never appearing in a head)
+/// it transitively depends on. This is the provenance the paper's
+/// sketched access-control model keys on: "a default access control
+/// policy that is derived automatically from the provenance of the
+/// base relations" (§2).
+///
+/// Atoms whose relation or peer position is a variable contribute the
+/// wildcard predicate "*" to the lineage — a conservative marker that
+/// the view may read *anything*, which policy derivation treats as
+/// maximally restrictive.
+using LineageMap = std::map<std::string, std::set<std::string>>;
+
+/// The wildcard predicate used for variable-located atoms.
+inline constexpr char kWildcardPredicate[] = "*";
+
+/// Computes the lineage of every head predicate in `rules`. Negated
+/// atoms count as dependencies like positive ones (seeing that a tuple
+/// is *absent* also leaks information about the base relation).
+LineageMap ComputeLineage(const std::vector<Rule>& rules);
+
+/// Convenience: lineage of one predicate, empty set when it is not
+/// defined by any rule.
+std::set<std::string> LineageOf(const LineageMap& lineage,
+                                const std::string& predicate);
+
+}  // namespace wdl
+
+#endif  // WDL_ANALYSIS_LINEAGE_H_

@@ -1,0 +1,28 @@
+#include "ast/fact.h"
+
+namespace wdl {
+
+std::string Fact::ToString() const {
+  std::string out = relation + "@" + peer + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+uint64_t Fact::Hash() const {
+  uint64_t h = HashString(relation);
+  h = HashCombine(h, HashString(peer));
+  for (const Value& v : args) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+bool Fact::operator<(const Fact& o) const {
+  if (peer != o.peer) return peer < o.peer;
+  if (relation != o.relation) return relation < o.relation;
+  return args < o.args;
+}
+
+}  // namespace wdl

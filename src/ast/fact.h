@@ -1,0 +1,57 @@
+#ifndef WDL_AST_FACT_H_
+#define WDL_AST_FACT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ast/value.h"
+
+namespace wdl {
+
+/// A ground fact m@p(a1,...,an): a tuple of values located in relation
+/// `relation` at peer `peer`. Facts are the unit of data exchanged
+/// between peers.
+struct Fact {
+  std::string relation;
+  std::string peer;
+  std::vector<Value> args;
+
+  Fact() = default;
+  Fact(std::string relation_in, std::string peer_in,
+       std::vector<Value> args_in)
+      : relation(std::move(relation_in)),
+        peer(std::move(peer_in)),
+        args(std::move(args_in)) {}
+
+  size_t arity() const { return args.size(); }
+
+  /// "rel@peer" — the locator of the relation this fact belongs to.
+  std::string PredicateId() const { return relation + "@" + peer; }
+
+  /// Surface syntax: rel@peer(v1, v2, ...).
+  std::string ToString() const;
+
+  uint64_t Hash() const;
+
+  bool operator==(const Fact& o) const {
+    return relation == o.relation && peer == o.peer && args == o.args;
+  }
+  bool operator!=(const Fact& o) const { return !(*this == o); }
+  /// Lexicographic on (peer, relation, args): canonical print order.
+  bool operator<(const Fact& o) const;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Fact& f) {
+  return os << f.ToString();
+}
+
+struct FactHasher {
+  size_t operator()(const Fact& f) const {
+    return static_cast<size_t>(f.Hash());
+  }
+};
+
+}  // namespace wdl
+
+#endif  // WDL_AST_FACT_H_

@@ -1,0 +1,49 @@
+#include "ast/program.h"
+
+namespace wdl {
+
+const char* RelationKindToString(RelationKind kind) {
+  switch (kind) {
+    case RelationKind::kExtensional: return "ext";
+    case RelationKind::kIntensional: return "int";
+  }
+  return "?";
+}
+
+std::string RelationDecl::ToString() const {
+  std::string out = "collection ";
+  out += RelationKindToString(kind);
+  out += " ";
+  out += relation + "@" + peer + "(";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns[i].name;
+    if (columns[i].type != ValueKind::kAny) {
+      out += ": ";
+      out += ValueKindToString(columns[i].type);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const RelationDecl& d : declarations) {
+    out += d.ToString();
+    out += ";\n";
+  }
+  for (const Fact& f : facts) {
+    out += "fact ";
+    out += f.ToString();
+    out += ";\n";
+  }
+  for (const Rule& r : rules) {
+    out += "rule ";
+    out += r.ToString();
+    out += ";\n";
+  }
+  return out;
+}
+
+}  // namespace wdl

@@ -1,0 +1,106 @@
+#ifndef WDL_AST_RULE_H_
+#define WDL_AST_RULE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/fact.h"
+#include "ast/term.h"
+
+namespace wdl {
+
+/// One atom of a rule: $R@$P($U), possibly negated when in a body.
+/// Relation and peer positions admit variables (SymTerm); argument
+/// positions admit constants and variables (Term).
+struct Atom {
+  SymTerm relation;
+  SymTerm peer;
+  std::vector<Term> args;
+  bool negated = false;
+
+  Atom() = default;
+  Atom(SymTerm relation_in, SymTerm peer_in, std::vector<Term> args_in,
+       bool negated_in = false)
+      : relation(std::move(relation_in)),
+        peer(std::move(peer_in)),
+        args(std::move(args_in)),
+        negated(negated_in) {}
+
+  bool IsGround() const;
+
+  /// True when relation and peer are concrete names (arguments may still
+  /// contain variables). Only locatable atoms can be evaluated or routed.
+  bool HasConcreteLocation() const {
+    return relation.is_name() && peer.is_name();
+  }
+
+  /// "rel@peer" (requires HasConcreteLocation()).
+  std::string PredicateId() const {
+    return relation.name() + "@" + peer.name();
+  }
+
+  /// Converts a fully ground atom to a Fact. Requires IsGround() and
+  /// HasConcreteLocation().
+  Fact ToFact() const;
+
+  /// Adds every variable occurring in this atom (including relation/peer
+  /// variables) to `out`.
+  void CollectVariables(std::set<std::string>* out) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Atom& o) const {
+    return negated == o.negated && relation == o.relation &&
+           peer == o.peer && args == o.args;
+  }
+  bool operator!=(const Atom& o) const { return !(*this == o); }
+
+  uint64_t Hash() const;
+};
+
+/// A WebdamLog rule: head :- body, with the body evaluated left to
+/// right (the order is semantically significant — §2 of the paper).
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+  /// Deletion rule ("-head :- body"): derived head facts are *removed*
+  /// from the target extensional relation at the next stage instead of
+  /// inserted — the update language's deletion form.
+  bool head_deletes = false;
+
+  Rule() = default;
+  Rule(Atom head_in, std::vector<Atom> body_in)
+      : head(std::move(head_in)), body(std::move(body_in)) {}
+
+  /// Variables appearing anywhere in the rule.
+  std::set<std::string> Variables() const;
+  /// Variables appearing in at least one positive body atom's argument,
+  /// relation, or peer position — the ones "bound by the body".
+  std::set<std::string> PositiveBodyVariables() const;
+
+  std::string ToString() const;
+
+  /// Content id, stable across peers and runs; used to identify rules in
+  /// delegation provenance and retraction messages.
+  uint64_t Hash() const;
+
+  bool operator==(const Rule& o) const {
+    return head_deletes == o.head_deletes && head == o.head &&
+           body == o.body;
+  }
+  bool operator!=(const Rule& o) const { return !(*this == o); }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Atom& a) {
+  return os << a.ToString();
+}
+inline std::ostream& operator<<(std::ostream& os, const Rule& r) {
+  return os << r.ToString();
+}
+
+}  // namespace wdl
+
+#endif  // WDL_AST_RULE_H_

@@ -1,0 +1,115 @@
+#ifndef WDL_AST_TERM_H_
+#define WDL_AST_TERM_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "ast/value.h"
+
+namespace wdl {
+
+/// A term in an argument position of an atom: either a constant Value or
+/// a variable. Variables are stored without the leading '$' of the
+/// surface syntax ("$x" parses to Variable("x")).
+class Term {
+ public:
+  Term() : is_variable_(false), value_(Value::Int(0)) {}
+
+  static Term Constant(Value v) {
+    Term t;
+    t.is_variable_ = false;
+    t.value_ = std::move(v);
+    return t;
+  }
+  static Term Variable(std::string name) {
+    Term t;
+    t.is_variable_ = true;
+    t.var_ = std::move(name);
+    return t;
+  }
+
+  bool is_variable() const { return is_variable_; }
+  bool is_constant() const { return !is_variable_; }
+
+  const Value& value() const { return value_; }
+  const std::string& var() const { return var_; }
+
+  /// "$x" for variables; Value::ToString() for constants.
+  std::string ToString() const {
+    return is_variable_ ? "$" + var_ : value_.ToString();
+  }
+
+  bool operator==(const Term& o) const {
+    if (is_variable_ != o.is_variable_) return false;
+    return is_variable_ ? var_ == o.var_ : value_ == o.value_;
+  }
+  bool operator!=(const Term& o) const { return !(*this == o); }
+
+  uint64_t Hash() const {
+    return is_variable_ ? HashCombine(1, HashString(var_))
+                        : HashCombine(2, value_.Hash());
+  }
+
+ private:
+  bool is_variable_;
+  Value value_;      // valid iff !is_variable_
+  std::string var_;  // valid iff is_variable_
+};
+
+/// A term in relation or peer position: a concrete name (identifier,
+/// printed unquoted) or a variable. The possibility of variables here —
+/// `$R@$P(...)` — is one of the paper's two headline novelties.
+class SymTerm {
+ public:
+  SymTerm() : is_variable_(false) {}
+
+  static SymTerm Name(std::string name) {
+    SymTerm t;
+    t.is_variable_ = false;
+    t.text_ = std::move(name);
+    return t;
+  }
+  static SymTerm Variable(std::string name) {
+    SymTerm t;
+    t.is_variable_ = true;
+    t.text_ = std::move(name);
+    return t;
+  }
+
+  bool is_variable() const { return is_variable_; }
+  bool is_name() const { return !is_variable_; }
+
+  /// The concrete name (requires is_name()).
+  const std::string& name() const { return text_; }
+  /// The variable name without '$' (requires is_variable()).
+  const std::string& var() const { return text_; }
+
+  std::string ToString() const {
+    return is_variable_ ? "$" + text_ : text_;
+  }
+
+  bool operator==(const SymTerm& o) const {
+    return is_variable_ == o.is_variable_ && text_ == o.text_;
+  }
+  bool operator!=(const SymTerm& o) const { return !(*this == o); }
+
+  uint64_t Hash() const {
+    return HashCombine(is_variable_ ? 3 : 4, HashString(text_));
+  }
+
+ private:
+  bool is_variable_;
+  std::string text_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Term& t) {
+  return os << t.ToString();
+}
+inline std::ostream& operator<<(std::ostream& os, const SymTerm& t) {
+  return os << t.ToString();
+}
+
+}  // namespace wdl
+
+#endif  // WDL_AST_TERM_H_

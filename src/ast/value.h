@@ -1,0 +1,91 @@
+#ifndef WDL_AST_VALUE_H_
+#define WDL_AST_VALUE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "base/hash.h"
+
+namespace wdl {
+
+/// Runtime type of a Value. kAny is only legal in schema declarations
+/// (a column that accepts any value), never as the tag of a live Value.
+enum class ValueKind : uint8_t {
+  kInt = 0,
+  kDouble = 1,
+  kString = 2,
+  kBlob = 3,
+  kAny = 4,
+};
+
+const char* ValueKindToString(ValueKind kind);
+
+/// A ground data value flowing through the system: the `a1,...,an` of a
+/// WebdamLog fact m@p(a1,...,an). Values are immutable once built and
+/// freely copyable. Blobs model binary picture payloads; they compare by
+/// content like everything else.
+class Value {
+ public:
+  struct Blob {
+    std::string bytes;
+    bool operator==(const Blob& o) const { return bytes == o.bytes; }
+    bool operator<(const Blob& o) const { return bytes < o.bytes; }
+  };
+
+  Value() : rep_(int64_t{0}) {}
+
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+  static Value MakeBlob(std::string bytes) {
+    return Value(Rep(Blob{std::move(bytes)}));
+  }
+
+  ValueKind kind() const {
+    return static_cast<ValueKind>(rep_.index());
+  }
+  bool is_int() const { return kind() == ValueKind::kInt; }
+  bool is_double() const { return kind() == ValueKind::kDouble; }
+  bool is_string() const { return kind() == ValueKind::kString; }
+  bool is_blob() const { return kind() == ValueKind::kBlob; }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  const Blob& AsBlob() const { return std::get<Blob>(rep_); }
+
+  /// Surface-syntax rendering: ints/doubles bare, strings quoted and
+  /// escaped, blobs as 0x-prefixed hex.
+  std::string ToString() const;
+
+  /// Stable 64-bit content hash (used in indexes and provenance ids).
+  uint64_t Hash() const;
+
+  bool operator==(const Value& o) const { return rep_ == o.rep_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  /// Total order: by kind tag first, then by content. Gives relations a
+  /// canonical sort for deterministic iteration and printing.
+  bool operator<(const Value& o) const;
+
+ private:
+  using Rep = std::variant<int64_t, double, std::string, Blob>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+struct ValueHasher {
+  size_t operator()(const Value& v) const {
+    return static_cast<size_t>(v.Hash());
+  }
+};
+
+}  // namespace wdl
+
+#endif  // WDL_AST_VALUE_H_

@@ -1,0 +1,35 @@
+#ifndef WDL_BASE_HASH_H_
+#define WDL_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace wdl {
+
+/// 64-bit FNV-1a over raw bytes; stable across platforms and runs, so
+/// hashes may participate in wire-format checksums and provenance ids.
+inline uint64_t Fnv1a64(const void* data, size_t len,
+                        uint64_t seed = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s, uint64_t seed = 0) {
+  return Fnv1a64(s.data(), s.size(), 1469598103934665603ULL ^ seed);
+}
+
+/// Order-dependent combiner (boost-style with a 64-bit constant).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+}  // namespace wdl
+
+#endif  // WDL_BASE_HASH_H_

@@ -1,0 +1,64 @@
+#ifndef WDL_BASE_LOGGING_H_
+#define WDL_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace wdl {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kWarning so tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink: LogMessage(...) << "text";
+/// Flushes one line to stderr on destruction; kFatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define WDL_LOG(level)                                              \
+  ::wdl::internal_logging::LogMessage(::wdl::LogLevel::k##level,    \
+                                      __FILE__, __LINE__)
+
+// Invariant check that stays on in release builds: databases corrupt
+// data silently when invariants are assumed away.
+#define WDL_CHECK(cond)                                     \
+  if (!(cond))                                              \
+  ::wdl::internal_logging::LogMessage(::wdl::LogLevel::kFatal, __FILE__, \
+                                      __LINE__)             \
+      << "Check failed: " #cond " "
+
+}  // namespace wdl
+
+#endif  // WDL_BASE_LOGGING_H_

@@ -1,0 +1,81 @@
+#ifndef WDL_BASE_RESULT_H_
+#define WDL_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace wdl {
+
+/// Result<T> holds either a value of type T or a non-OK Status.
+/// It is the return type of every fallible operation that produces a
+/// value (parsing, lookups, evaluation). Accessing value() on an error
+/// Result is a programming error and asserts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error Status keeps call
+  // sites readable: `return tuple;` / `return Status::NotFound(...)`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "use Result(T) for success");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when this is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `expr` (a Result<T>), propagating errors; on success binds
+// the value to `lhs`. `lhs` may include a declaration:
+//   WDL_ASSIGN_OR_RETURN(auto rule, ParseRule(text));
+#define WDL_ASSIGN_OR_RETURN(lhs, expr)                     \
+  WDL_ASSIGN_OR_RETURN_IMPL_(                               \
+      WDL_RESULT_CONCAT_(_wdl_result_, __LINE__), lhs, expr)
+
+#define WDL_RESULT_CONCAT_INNER_(a, b) a##b
+#define WDL_RESULT_CONCAT_(a, b) WDL_RESULT_CONCAT_INNER_(a, b)
+#define WDL_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+}  // namespace wdl
+
+#endif  // WDL_BASE_RESULT_H_

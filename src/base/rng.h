@@ -1,0 +1,59 @@
+#ifndef WDL_BASE_RNG_H_
+#define WDL_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace wdl {
+
+/// Deterministic SplitMix64 generator. Used by the network simulator and
+/// workload generators so every experiment is reproducible from a seed.
+/// Deliberately not std::mt19937: SplitMix64's output for a given seed is
+/// trivially portable and two orders of magnitude less state to reason
+/// about in tests.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t NextBelow(uint64_t bound) {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    while (true) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool NextBool(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  /// Uniform in [lo, hi] inclusive; requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_BASE_RNG_H_

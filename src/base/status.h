@@ -1,0 +1,106 @@
+#ifndef WDL_BASE_STATUS_H_
+#define WDL_BASE_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace wdl {
+
+// Error taxonomy for the whole library. Codes are stable and compact so
+// they can cross the wire inside control messages.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // caller passed something malformed
+  kNotFound = 2,          // relation / peer / rule does not exist
+  kAlreadyExists = 3,     // duplicate schema / peer registration
+  kFailedPrecondition = 4,// operation illegal in current state
+  kOutOfRange = 5,        // index / arity violation
+  kUnimplemented = 6,     // dialect feature disabled (e.g. negation in 2013 mode)
+  kInternal = 7,          // invariant broken; a bug in this library
+  kParseError = 8,        // surface-syntax error with position info
+  kPermissionDenied = 9,  // access-control rejection
+  kUnavailable = 10,      // peer unreachable / network partitioned
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status carries either success (`kOk`) or an error code plus message.
+/// This library does not use exceptions; every fallible operation returns
+/// Status or Result<T>. Statuses are cheap to copy in the OK case (the
+/// message string is empty).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Propagates a non-OK Status to the caller.
+#define WDL_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::wdl::Status _wdl_status = (expr);             \
+    if (!_wdl_status.ok()) return _wdl_status;      \
+  } while (false)
+
+}  // namespace wdl
+
+#endif  // WDL_BASE_STATUS_H_

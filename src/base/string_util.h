@@ -1,0 +1,39 @@
+#ifndef WDL_BASE_STRING_UTIL_H_
+#define WDL_BASE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdl {
+
+/// Splits `input` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Escapes a string for inclusion in double quotes in WebdamLog surface
+/// syntax: backslash, quote, newline, tab, CR become escape sequences.
+std::string EscapeString(std::string_view s);
+
+/// Inverse of EscapeString. Returns false on a malformed escape.
+bool UnescapeString(std::string_view s, std::string* out);
+
+/// True iff `s` is a valid WebdamLog identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool IsIdentifier(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace wdl
+
+#endif  // WDL_BASE_STRING_UTIL_H_

@@ -1,0 +1,58 @@
+#ifndef WDL_ENGINE_BINDING_H_
+#define WDL_ENGINE_BINDING_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ast/value.h"
+
+namespace wdl {
+
+/// A variable environment built during left-to-right body matching.
+/// Implemented as a trail (vector of name/value pairs) so backtracking
+/// is "remember the size, truncate back to it" — no per-branch copies.
+/// Rule bodies bind a handful of variables, so linear lookup wins over
+/// any map.
+class Binding {
+ public:
+  Binding() = default;
+
+  /// Value bound to `var`, or nullptr when unbound.
+  const Value* Get(std::string_view var) const {
+    // Scan backwards: inner bindings shadow (never happens in valid
+    // rules, but keeps semantics obvious).
+    for (auto it = trail_.rbegin(); it != trail_.rend(); ++it) {
+      if (it->first == var) return &it->second;
+    }
+    return nullptr;
+  }
+
+  /// Binds `var` to `value`. The caller must have checked the variable
+  /// is unbound (match loops compare against Get() first).
+  void Bind(std::string var, Value value) {
+    trail_.emplace_back(std::move(var), std::move(value));
+  }
+
+  /// Checkpoint for backtracking.
+  size_t Mark() const { return trail_.size(); }
+
+  /// Undoes all bindings made after `mark`.
+  void Rewind(size_t mark) { trail_.resize(mark); }
+
+  size_t size() const { return trail_.size(); }
+  bool empty() const { return trail_.empty(); }
+
+  /// All live (name, value) pairs, oldest first.
+  const std::vector<std::pair<std::string, Value>>& entries() const {
+    return trail_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, Value>> trail_;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_ENGINE_BINDING_H_

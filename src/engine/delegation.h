@@ -1,0 +1,46 @@
+#ifndef WDL_ENGINE_DELEGATION_H_
+#define WDL_ENGINE_DELEGATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ast/rule.h"
+#include "base/hash.h"
+
+namespace wdl {
+
+/// A rule delegation: the residual rule that peer `origin_peer` installs
+/// at `target_peer` when left-to-right evaluation of `origin_rule_hash`
+/// reaches an atom located at the target. The residual's variables that
+/// were bound by the already-evaluated prefix have been substituted with
+/// constants, so distinct prefix bindings yield distinct residuals.
+struct Delegation {
+  std::string origin_peer;
+  std::string target_peer;
+  Rule rule;                  // the residual rule to install
+  uint64_t origin_rule_hash = 0;
+
+  /// Stable identity used for install/retract matching across stages and
+  /// peers: same origin, target, source rule, and residual content.
+  uint64_t Key() const {
+    uint64_t h = HashString(origin_peer);
+    h = HashCombine(h, HashString(target_peer));
+    h = HashCombine(h, origin_rule_hash);
+    h = HashCombine(h, rule.Hash());
+    return h;
+  }
+
+  std::string ToString() const {
+    return "delegation[" + origin_peer + " -> " + target_peer +
+           "]: " + rule.ToString();
+  }
+
+  bool operator==(const Delegation& o) const {
+    return origin_peer == o.origin_peer && target_peer == o.target_peer &&
+           origin_rule_hash == o.origin_rule_hash && rule == o.rule;
+  }
+};
+
+}  // namespace wdl
+
+#endif  // WDL_ENGINE_DELEGATION_H_

@@ -1,0 +1,560 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace wdl {
+
+uint64_t HashTupleSet(const std::unordered_set<Tuple, TupleHasher>& set) {
+  // XOR is order-independent; salt with size so {} and {t, t} can't
+  // collide with rearrangements (sets have no duplicates, but the salt
+  // also separates the empty set from "absent").
+  uint64_t h = set.size();
+  TupleHasher hasher;
+  for (const Tuple& t : set) h ^= hasher(t) | 1;
+  return h;
+}
+
+Engine::Engine(std::string self_peer, EngineOptions options)
+    : self_peer_(std::move(self_peer)),
+      options_(options),
+      catalog_(self_peer_) {}
+
+Status Engine::LoadProgram(const Program& program) {
+  WDL_RETURN_IF_ERROR(ValidateProgram(program, options_.dialect));
+  for (const RelationDecl& d : program.declarations) {
+    WDL_RETURN_IF_ERROR(DeclareRelation(d));
+  }
+  for (const Fact& f : program.facts) {
+    WDL_RETURN_IF_ERROR(InsertFact(f).status());
+  }
+  for (const Rule& r : program.rules) {
+    WDL_RETURN_IF_ERROR(AddRule(r).status());
+  }
+  return Status::OK();
+}
+
+Status Engine::DeclareRelation(const RelationDecl& decl) {
+  return catalog_.Declare(decl);
+}
+
+Status Engine::ValidateNewRule(const Rule& rule) const {
+  WDL_RETURN_IF_ERROR(CheckRuleSafety(rule));
+  if (rule.head_deletes && rule.head.HasConcreteLocation() &&
+      rule.head.peer.name() == self_peer_) {
+    const Relation* rel = catalog_.Get(rule.head.relation.name());
+    if (rel != nullptr && rel->kind() == RelationKind::kIntensional) {
+      return Status::FailedPrecondition(
+          "deletion rule targets intensional relation " +
+          rule.head.PredicateId() + "; views cannot be deleted from");
+    }
+  }
+  bool negated = false;
+  for (const Atom& a : rule.body) negated |= a.negated;
+  if (negated && options_.dialect == Dialect::kPaper2013) {
+    return Status::Unimplemented(
+        "negation is not implemented in the 2013 system (rule: " +
+        rule.ToString() + ")");
+  }
+  if (negated) {
+    // The new rule must stratify together with the existing program.
+    std::vector<Rule> all;
+    all.reserve(rules_.size() + 1);
+    for (const InstalledRule& ir : rules_) all.push_back(ir.rule);
+    all.push_back(rule);
+    WDL_ASSIGN_OR_RETURN(Stratification s, Stratify(all));
+    (void)s;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> Engine::AddRule(const Rule& rule) {
+  WDL_RETURN_IF_ERROR(ValidateNewRule(rule));
+  InstalledRule ir;
+  ir.id = next_rule_id_++;
+  ir.rule = rule;
+  ir.origin_peer = self_peer_;
+  rules_.push_back(std::move(ir));
+  dirty_ = true;
+  return rules_.back().id;
+}
+
+Status Engine::RemoveRule(uint64_t id) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (it->id == id) {
+      rules_.erase(it);
+      dirty_ = true;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no rule with id " + std::to_string(id));
+}
+
+Status Engine::InstallDelegatedRule(const Delegation& delegation) {
+  if (delegation.target_peer != self_peer_) {
+    return Status::InvalidArgument(StrFormat(
+        "delegation targets peer '%s', not '%s'",
+        delegation.target_peer.c_str(), self_peer_.c_str()));
+  }
+  WDL_RETURN_IF_ERROR(ValidateNewRule(delegation.rule));
+  uint64_t key = delegation.Key();
+  for (const InstalledRule& ir : rules_) {
+    if (ir.delegation_key == key) return Status::OK();  // idempotent
+  }
+  InstalledRule ir;
+  ir.id = next_rule_id_++;
+  ir.rule = delegation.rule;
+  ir.origin_peer = delegation.origin_peer;
+  ir.delegation_key = key;
+  rules_.push_back(std::move(ir));
+  dirty_ = true;
+  return Status::OK();
+}
+
+void Engine::RetractDelegatedRule(uint64_t delegation_key) {
+  dirty_ = true;
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
+                              [&](const InstalledRule& ir) {
+                                return ir.delegation_key == delegation_key;
+                              }),
+               rules_.end());
+}
+
+Result<bool> Engine::InsertFact(const Fact& fact) {
+  if (fact.peer != self_peer_) {
+    return Status::InvalidArgument("InsertFact of remote fact " +
+                                   fact.ToString() +
+                                   "; route it through the runtime");
+  }
+  const Relation* rel = catalog_.Get(fact.relation);
+  if (rel != nullptr && rel->kind() == RelationKind::kIntensional) {
+    return Status::FailedPrecondition(
+        "relation " + fact.PredicateId() +
+        " is intensional (a view); base updates are not allowed");
+  }
+  dirty_ = true;
+  return catalog_.InsertFact(fact);
+}
+
+Result<bool> Engine::RemoveFact(const Fact& fact) {
+  if (fact.peer != self_peer_) {
+    return Status::InvalidArgument("RemoveFact of remote fact " +
+                                   fact.ToString());
+  }
+  const Relation* rel = catalog_.Get(fact.relation);
+  if (rel != nullptr && rel->kind() == RelationKind::kIntensional) {
+    return Status::FailedPrecondition(
+        "relation " + fact.PredicateId() +
+        " is intensional (a view); base updates are not allowed");
+  }
+  dirty_ = true;
+  return catalog_.RemoveFact(fact);
+}
+
+void Engine::EnqueueFactInserts(std::vector<Fact> facts) {
+  for (Fact& f : facts) inbound_inserts_.push_back(std::move(f));
+}
+
+void Engine::EnqueueFactDeletes(std::vector<Fact> facts) {
+  for (Fact& f : facts) inbound_deletes_.push_back(std::move(f));
+}
+
+void Engine::EnqueueDerivedSet(const std::string& sender, DerivedSet set) {
+  inbound_derived_.emplace_back(sender, std::move(set));
+}
+
+bool Engine::HasPendingWork() const {
+  return dirty_ || !inbound_inserts_.empty() || !inbound_deletes_.empty() ||
+         !inbound_derived_.empty() || !pending_self_updates_.empty() ||
+         !pending_self_deletes_.empty() || !ran_any_stage_;
+}
+
+void Engine::ApplyInputs(StageStats* stats, bool* changed) {
+  (void)stats;
+  // Deferred self-updates from the previous stage land first.
+  for (const Fact& f : pending_self_updates_) {
+    Result<bool> r = catalog_.InsertFact(f);
+    if (!r.ok()) {
+      WDL_LOG(Error) << "self-update " << f.ToString()
+                     << " failed: " << r.status();
+    } else if (*r) {
+      *changed = true;
+    }
+  }
+  pending_self_updates_.clear();
+
+  for (const Fact& f : pending_self_deletes_) {
+    Result<bool> r = catalog_.RemoveFact(f);
+    if (r.ok() && *r) *changed = true;
+  }
+  pending_self_deletes_.clear();
+
+  for (const Fact& f : inbound_inserts_) {
+    const Relation* rel = catalog_.Get(f.relation);
+    if (rel != nullptr && rel->kind() == RelationKind::kIntensional) {
+      WDL_LOG(Warning) << "dropping base insert into intensional relation "
+                       << f.PredicateId();
+      continue;
+    }
+    Result<bool> r = catalog_.InsertFact(f);
+    if (!r.ok()) {
+      WDL_LOG(Error) << "inbound insert " << f.ToString()
+                     << " failed: " << r.status();
+    } else if (*r) {
+      *changed = true;
+    }
+  }
+  inbound_inserts_.clear();
+
+  for (const Fact& f : inbound_deletes_) {
+    Result<bool> r = catalog_.RemoveFact(f);
+    if (r.ok() && *r) *changed = true;
+  }
+  inbound_deletes_.clear();
+
+  for (auto& [sender, set] : inbound_derived_) {
+    Relation* rel = catalog_.Get(set.relation);
+    if (rel == nullptr) {
+      // A peer is telling us about a relation we do not know yet: the
+      // paper's "peers may discover new relations". Create it as
+      // extensional with inferred arity.
+      if (set.tuples.empty()) continue;
+      RelationDecl decl;
+      decl.relation = set.relation;
+      decl.peer = self_peer_;
+      decl.kind = RelationKind::kExtensional;
+      decl.columns.resize(set.tuples[0].size());
+      for (size_t i = 0; i < decl.columns.size(); ++i) {
+        decl.columns[i].name = "c" + std::to_string(i);
+      }
+      Status st = catalog_.Declare(decl);
+      if (!st.ok()) {
+        WDL_LOG(Error) << "auto-declare failed: " << st;
+        continue;
+      }
+      rel = catalog_.Get(set.relation);
+    }
+    if (rel->kind() == RelationKind::kExtensional) {
+      // Updates are persistent: union-insert, never delete.
+      for (Tuple& t : set.tuples) {
+        Result<bool> r = rel->Insert(std::move(t));
+        if (!r.ok()) {
+          WDL_LOG(Error) << "inbound derived tuple rejected by "
+                         << rel->decl().PredicateId() << ": " << r.status();
+        } else if (*r) {
+          *changed = true;
+        }
+      }
+    } else {
+      // View semantics: replace this sender's slice.
+      TupleSet slice;
+      for (Tuple& t : set.tuples) {
+        if (rel->CheckTuple(t).ok()) slice.insert(std::move(t));
+      }
+      TupleSet& stored = remote_contributions_[set.relation][sender];
+      if (HashTupleSet(stored) != HashTupleSet(slice)) *changed = true;
+      if (slice.empty()) {
+        remote_contributions_[set.relation].erase(sender);
+      } else {
+        stored = std::move(slice);
+      }
+    }
+  }
+  inbound_derived_.clear();
+}
+
+void Engine::SeedIntensionalFromContributions() {
+  for (auto& [relation, by_sender] : remote_contributions_) {
+    Relation* rel = catalog_.Get(relation);
+    if (rel == nullptr || rel->kind() != RelationKind::kIntensional) {
+      continue;
+    }
+    for (auto& [sender, slice] : by_sender) {
+      for (const Tuple& t : slice) {
+        Result<bool> r = rel->Insert(t);
+        if (!r.ok()) {
+          WDL_LOG(Warning) << "contribution tuple rejected: " << r.status();
+        }
+      }
+    }
+  }
+}
+
+void Engine::RunFixpoint(
+    StageStats* stats, std::map<ContributionKey, TupleSet>* contributions,
+    std::map<uint64_t, Delegation>* delegations,
+    std::unordered_set<Fact, FactHasher>* self_updates,
+    std::unordered_set<Fact, FactHasher>* self_deletes,
+    std::unordered_set<Fact, FactHasher>* remote_deletes) {
+  // Stratify the active rule set (single stratum when negation-free).
+  std::vector<Rule> rule_bodies;
+  rule_bodies.reserve(rules_.size());
+  for (const InstalledRule& ir : rules_) rule_bodies.push_back(ir.rule);
+  Stratification strat;
+  Result<Stratification> strat_result = Stratify(rule_bodies);
+  if (strat_result.ok()) {
+    strat = std::move(strat_result).value();
+  } else {
+    // A delegated rule may have broken stratification after install
+    // validation (dynamic arrivals); fall back to one stratum and log.
+    WDL_LOG(Error) << "stratification failed; evaluating in one stratum: "
+                   << strat_result.status();
+    strat.rule_stratum.assign(rules_.size(), 0);
+    strat.num_strata = 1;
+  }
+  stats->strata = strat.num_strata;
+
+  RuleEvaluator evaluator(&catalog_, self_peer_,
+                          EvalOptions{options_.use_indexes});
+
+  for (int stratum = 0; stratum < strat.num_strata; ++stratum) {
+    std::vector<const Rule*> active;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      if (strat.rule_stratum[i] == stratum) active.push_back(&rules_[i].rule);
+    }
+    if (active.empty()) continue;
+
+    DeltaMap delta;      // tuples new in the previous iteration
+    DeltaMap next_delta; // tuples new in this iteration
+
+    // Set per Evaluate() call: whether the rule being evaluated is a
+    // deletion rule (its head derivations remove instead of insert).
+    bool current_rule_deletes = false;
+
+    RuleEvaluator::Sinks sinks;
+    sinks.on_local_fact = [&](const Fact& f) {
+      Relation* rel = catalog_.Get(f.relation);
+      bool intensional =
+          rel != nullptr && rel->kind() == RelationKind::kIntensional;
+      if (current_rule_deletes) {
+        if (intensional) {
+          WDL_LOG(Warning) << "deletion rule derived into view "
+                           << f.PredicateId() << "; dropped";
+        } else if (rel != nullptr && rel->Contains(f.args)) {
+          self_deletes->insert(f);  // deferred, Bud's <-
+        }
+        return;
+      }
+      if (intensional) {
+        Result<bool> r = rel->Insert(f.args);
+        if (r.ok() && *r) {
+          next_delta[f.relation].insert(f.args);
+          ++stats->local_derivations;
+        }
+      } else {
+        // Local update rule: deferred to the next stage (Bud's <+).
+        if (rel == nullptr || !rel->Contains(f.args)) {
+          self_updates->insert(f);
+        }
+      }
+    };
+    sinks.on_remote_fact = [&](const Fact& f) {
+      if (current_rule_deletes) {
+        remote_deletes->insert(f);
+      } else {
+        (*contributions)[ContributionKey{f.peer, f.relation}].insert(
+            f.args);
+      }
+    };
+    sinks.on_delegation = [&](const Delegation& d) {
+      delegations->emplace(d.Key(), d);
+    };
+
+    // Iteration 1: full evaluation.
+    int iterations = 1;
+    for (const Rule* rule : active) {
+      current_rule_deletes = rule->head_deletes;
+      evaluator.Evaluate(*rule, nullptr, -1, sinks);
+    }
+
+    if (options_.mode == EvalMode::kNaive) {
+      // Naive: re-run everything until no new local facts appear.
+      while (!next_delta.empty() &&
+             iterations < options_.max_fixpoint_iterations) {
+        next_delta.clear();
+        ++iterations;
+        for (const Rule* rule : active) {
+          current_rule_deletes = rule->head_deletes;
+          evaluator.Evaluate(*rule, nullptr, -1, sinks);
+        }
+      }
+    } else {
+      // Semi-naive: only join against the Δ of the previous iteration.
+      while (!next_delta.empty() &&
+             iterations < options_.max_fixpoint_iterations) {
+        delta = std::move(next_delta);
+        next_delta = DeltaMap();
+        ++iterations;
+        for (const Rule* rule : active) {
+          current_rule_deletes = rule->head_deletes;
+          for (size_t pos = 0; pos < rule->body.size(); ++pos) {
+            if (rule->body[pos].negated) continue;
+            evaluator.Evaluate(*rule, &delta, static_cast<int>(pos), sinks);
+          }
+        }
+      }
+    }
+    if (iterations >= options_.max_fixpoint_iterations) {
+      WDL_LOG(Error) << "fixpoint iteration limit reached at peer "
+                     << self_peer_;
+    }
+    stats->iterations += iterations;
+  }
+  stats->tuples_examined = evaluator.counters().tuples_examined;
+}
+
+uint64_t Engine::IntensionalContentHash() const {
+  uint64_t h = 0;
+  TupleHasher hasher;
+  for (const std::string& name : catalog_.RelationNames()) {
+    const Relation* rel = catalog_.Get(name);
+    if (rel->kind() != RelationKind::kIntensional) continue;
+    uint64_t rel_hash = HashString(name);
+    rel->ForEach([&](const Tuple& t) { rel_hash ^= hasher(t) | 1; });
+    h = HashCombine(h, rel_hash);
+  }
+  return h;
+}
+
+StageResult Engine::RunStage() {
+  StageResult result;
+  result.stats.active_rules = rules_.size();
+  ran_any_stage_ = true;
+  dirty_ = false;
+
+  // Step 1: load inputs received since the previous stage.
+  bool changed_local = false;
+  ApplyInputs(&result.stats, &changed_local);
+
+  // Step 2: local fixpoint. Intensional relations are views: reset, then
+  // re-seed with remote contributions, then derive.
+  catalog_.ClearIntensional();
+  SeedIntensionalFromContributions();
+
+  std::map<ContributionKey, TupleSet> contributions;
+  std::map<uint64_t, Delegation> delegations;
+  std::unordered_set<Fact, FactHasher> self_updates;
+  std::unordered_set<Fact, FactHasher> self_deletes;
+  std::unordered_set<Fact, FactHasher> remote_deletes;
+  RunFixpoint(&result.stats, &contributions, &delegations, &self_updates,
+              &self_deletes, &remote_deletes);
+
+  pending_self_updates_ = std::move(self_updates);
+  pending_self_deletes_ = std::move(self_deletes);
+
+  // Remote deletions ship once per unique fact (idempotent at the
+  // receiver; re-sending is pure waste).
+  for (const Fact& f : remote_deletes) {
+    if (sent_remote_deletes_.insert(f).second) {
+      result.outbound[f.peer].fact_deletes.push_back(f);
+    }
+  }
+
+  // Step 3: emit facts (updates) and rules (delegations) to other peers.
+  // Contribution sets ship only when they changed; an emptied set ships
+  // once as empty so the receiver clears its slice.
+  std::map<ContributionKey, uint64_t> new_hashes;
+  for (const auto& [key, set] : contributions) {
+    new_hashes[key] = HashTupleSet(set);
+  }
+  for (const auto& [key, old_hash] : sent_contribution_hash_) {
+    if (new_hashes.count(key)) continue;
+    (void)old_hash;
+    DerivedSet empty_set;
+    empty_set.target_peer = key.target_peer;
+    empty_set.relation = key.relation;
+    result.outbound[key.target_peer].derived_sets.push_back(
+        std::move(empty_set));
+  }
+  for (const auto& [key, set] : contributions) {
+    auto it = sent_contribution_hash_.find(key);
+    if (it != sent_contribution_hash_.end() &&
+        it->second == new_hashes[key]) {
+      continue;  // unchanged, stay silent
+    }
+    DerivedSet ds;
+    ds.target_peer = key.target_peer;
+    ds.relation = key.relation;
+    ds.tuples.assign(set.begin(), set.end());
+    std::sort(ds.tuples.begin(), ds.tuples.end());  // deterministic wire
+    result.outbound[key.target_peer].derived_sets.push_back(std::move(ds));
+  }
+  sent_contribution_hash_ = std::move(new_hashes);
+
+  // Delegation diff: install the new, retract the vanished.
+  for (const auto& [key, d] : delegations) {
+    if (!sent_delegations_.count(key)) {
+      result.outbound[d.target_peer].delegation_installs.push_back(d);
+    }
+  }
+  for (const auto& [key, d] : sent_delegations_) {
+    if (!delegations.count(key)) {
+      result.outbound[d.target_peer].delegation_retracts.push_back(key);
+    }
+  }
+  sent_delegations_ = std::move(delegations);
+  result.stats.delegations_active = sent_delegations_.size();
+
+  // Drop empty outbound buckets.
+  for (auto it = result.outbound.begin(); it != result.outbound.end();) {
+    if (it->second.empty()) {
+      it = result.outbound.erase(it);
+    } else {
+      result.stats.messages_out += it->second.MessageCount();
+      ++it;
+    }
+  }
+
+  uint64_t intensional_hash = IntensionalContentHash();
+  bool views_changed = intensional_hash != prev_intensional_hash_;
+  prev_intensional_hash_ = intensional_hash;
+
+  result.changed = changed_local || views_changed ||
+                   !result.outbound.empty() ||
+                   !pending_self_updates_.empty() ||
+                   !pending_self_deletes_.empty();
+  return result;
+}
+
+std::string Engine::DumpAsProgramText() const {
+  Program program;
+  for (const std::string& name : catalog_.RelationNames()) {
+    const Relation* rel = catalog_.Get(name);
+    if (StartsWith(name, "__query_")) continue;  // ad-hoc query scratch
+    program.declarations.push_back(rel->decl());
+    if (rel->kind() == RelationKind::kExtensional) {
+      for (Tuple& t : rel->SortedTuples()) {
+        program.facts.emplace_back(name, self_peer_, std::move(t));
+      }
+    }
+  }
+  for (const InstalledRule& ir : rules_) {
+    if (ir.delegation_key == 0) program.rules.push_back(ir.rule);
+  }
+  return program.ToString();
+}
+
+std::vector<const InstalledRule*> Engine::rules() const {
+  std::vector<const InstalledRule*> out;
+  out.reserve(rules_.size());
+  for (const InstalledRule& ir : rules_) out.push_back(&ir);
+  return out;
+}
+
+std::string Engine::ProgramListing() const {
+  std::string out = "program of peer " + self_peer_ + ":\n";
+  for (const InstalledRule& ir : rules_) {
+    out += "  [" + std::to_string(ir.id) + "] ";
+    out += ir.rule.ToString();
+    if (ir.delegation_key != 0) {
+      out += "   (delegated by " + ir.origin_peer + ")";
+    }
+    out += "\n";
+  }
+  if (rules_.empty()) out += "  (no rules)\n";
+  return out;
+}
+
+}  // namespace wdl

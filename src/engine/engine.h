@@ -1,0 +1,221 @@
+#ifndef WDL_ENGINE_ENGINE_H_
+#define WDL_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "ast/program.h"
+#include "base/result.h"
+#include "engine/delegation.h"
+#include "engine/eval.h"
+#include "storage/catalog.h"
+
+namespace wdl {
+
+/// Fixpoint strategy. Semi-naive is the production path; naive exists
+/// for the A1 ablation (bench_fixpoint) and as a differential-testing
+/// oracle (both must produce identical relations).
+enum class EvalMode : uint8_t {
+  kSemiNaive = 0,
+  kNaive = 1,
+};
+
+struct EngineOptions {
+  EvalMode mode = EvalMode::kSemiNaive;
+  bool use_indexes = true;
+  Dialect dialect = Dialect::kExtended;
+  int max_fixpoint_iterations = 1 << 20;  // safety net; datalog terminates
+};
+
+/// The full current contribution of one sender to a remote relation.
+/// Receivers apply it by relation kind: extensional targets union-insert
+/// the tuples (updates are persistent); intensional targets replace the
+/// sender's previous slice (continuous view maintenance).
+struct DerivedSet {
+  std::string target_peer;
+  std::string relation;
+  std::vector<Tuple> tuples;
+};
+
+/// Everything a stage wants delivered to one remote peer.
+struct Outbound {
+  std::vector<DerivedSet> derived_sets;
+  std::vector<Fact> fact_deletes;  // from deletion rules (-head :- body)
+  std::vector<Delegation> delegation_installs;
+  std::vector<uint64_t> delegation_retracts;  // Delegation::Key()s
+
+  bool empty() const {
+    return derived_sets.empty() && fact_deletes.empty() &&
+           delegation_installs.empty() && delegation_retracts.empty();
+  }
+  size_t MessageCount() const {
+    return derived_sets.size() + (fact_deletes.empty() ? 0 : 1) +
+           delegation_installs.size() + delegation_retracts.size();
+  }
+};
+
+struct StageStats {
+  int strata = 1;
+  int iterations = 0;            // fixpoint iterations across strata
+  uint64_t tuples_examined = 0;  // join work
+  uint64_t local_derivations = 0;  // intensional tuples inserted
+  size_t active_rules = 0;
+  size_t delegations_active = 0;
+  size_t messages_out = 0;
+};
+
+struct StageResult {
+  /// True when this stage changed local state, produced messages, or
+  /// left deferred self-updates — i.e. the peer is not yet quiescent.
+  bool changed = false;
+  std::map<std::string, Outbound> outbound;  // by target peer
+  StageStats stats;
+};
+
+/// A rule active at this peer, either authored locally or installed by
+/// a remote peer through delegation.
+struct InstalledRule {
+  uint64_t id = 0;             // engine-local handle
+  Rule rule;
+  std::string origin_peer;     // == self for locally authored rules
+  uint64_t delegation_key = 0; // nonzero iff installed via delegation
+};
+
+/// The WebdamLog engine of a single peer: catalog + active rule set +
+/// the three-step stage of §2 — (1) load inputs received since the
+/// previous stage, (2) run a local fixpoint, (3) emit facts (updates)
+/// and rules (delegations) for other peers.
+///
+/// Not thread-safe; one Engine per peer, driven by the runtime.
+class Engine {
+ public:
+  explicit Engine(std::string self_peer, EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const std::string& self_peer() const { return self_peer_; }
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Declares relations, loads base facts, installs rules; validates the
+  /// whole program under the configured dialect first.
+  Status LoadProgram(const Program& program);
+
+  Status DeclareRelation(const RelationDecl& decl);
+
+  /// Installs a locally authored rule after safety/dialect validation.
+  /// Returns an engine-local id usable with RemoveRule.
+  Result<uint64_t> AddRule(const Rule& rule);
+  Status RemoveRule(uint64_t id);
+
+  /// Installs a rule delegated by a remote peer (access control happens
+  /// above the engine, in the runtime's DelegationGate).
+  Status InstallDelegatedRule(const Delegation& delegation);
+  /// Removes the rule installed for `delegation_key`; idempotent.
+  void RetractDelegatedRule(uint64_t delegation_key);
+
+  /// Immediate base-fact update of a local extensional relation (the
+  /// user API: "Upload a picture", ratings, annotations...).
+  Result<bool> InsertFact(const Fact& fact);
+  Result<bool> RemoveFact(const Fact& fact);
+
+  // --- Step-1 inputs, queued by the runtime between stages -----------
+  void EnqueueFactInserts(std::vector<Fact> facts);
+  void EnqueueFactDeletes(std::vector<Fact> facts);
+  void EnqueueDerivedSet(const std::string& sender, DerivedSet set);
+
+  /// Runs one computation stage and returns what must be shipped.
+  StageResult RunStage();
+
+  /// True when queued inputs or deferred self-updates exist, i.e. the
+  /// next stage has guaranteed work.
+  bool HasPendingWork() const;
+
+  /// Active rules in installation order (stable ids).
+  std::vector<const InstalledRule*> rules() const;
+
+  /// Human-readable program listing with provenance markers — the
+  /// per-peer program view of the paper's Figure 3.
+  std::string ProgramListing() const;
+
+  /// Serializes this peer's durable state — declarations, extensional
+  /// facts, and locally authored rules — as parseable WebdamLog source.
+  /// Loading the text into a fresh Engine reproduces the peer (views
+  /// rebuild on the first stage; delegated rules re-arrive from their
+  /// origins). This is how "users launch their customized peers on
+  /// their machines with their own personal data" persists across runs.
+  std::string DumpAsProgramText() const;
+
+ private:
+  struct ContributionKey {
+    std::string target_peer;
+    std::string relation;
+    bool operator<(const ContributionKey& o) const {
+      if (target_peer != o.target_peer) return target_peer < o.target_peer;
+      return relation < o.relation;
+    }
+  };
+  using TupleSet = std::unordered_set<Tuple, TupleHasher>;
+
+  Status ValidateNewRule(const Rule& rule) const;
+  void ApplyInputs(StageStats* stats, bool* changed);
+  void SeedIntensionalFromContributions();
+  void RunFixpoint(StageStats* stats,
+                   std::map<ContributionKey, TupleSet>* contributions,
+                   std::map<uint64_t, Delegation>* delegations,
+                   std::unordered_set<Fact, FactHasher>* self_updates,
+                   std::unordered_set<Fact, FactHasher>* self_deletes,
+                   std::unordered_set<Fact, FactHasher>* remote_deletes);
+  uint64_t IntensionalContentHash() const;
+
+  std::string self_peer_;
+  EngineOptions options_;
+  Catalog catalog_;
+
+  std::vector<InstalledRule> rules_;
+  uint64_t next_rule_id_ = 1;
+
+  // Step-1 queues.
+  std::vector<Fact> inbound_inserts_;
+  std::vector<Fact> inbound_deletes_;
+  std::vector<std::pair<std::string, DerivedSet>> inbound_derived_;
+
+  // Deferred local extensional derivations (visible next stage, like
+  // Bud's deferred <+ operator), and deferred deletions from deletion
+  // rules (Bud's <- operator).
+  std::unordered_set<Fact, FactHasher> pending_self_updates_;
+  std::unordered_set<Fact, FactHasher> pending_self_deletes_;
+
+  // Remote contributions to local intensional relations, by relation
+  // then sender. Re-seeded into the relations at every stage start.
+  std::map<std::string, std::map<std::string, TupleSet>>
+      remote_contributions_;
+
+  // What we already shipped, for change detection.
+  std::map<ContributionKey, uint64_t> sent_contribution_hash_;
+  std::map<uint64_t, Delegation> sent_delegations_;
+  // Remote deletions already shipped (deletion is idempotent; ship once).
+  std::unordered_set<Fact, FactHasher> sent_remote_deletes_;
+
+  uint64_t prev_intensional_hash_ = 0;
+  bool ran_any_stage_ = false;
+  // Set by every mutating API call (rule/fact changes) so the runtime
+  // knows a stage is needed; cleared by RunStage.
+  bool dirty_ = true;
+};
+
+/// Order-independent content hash of a tuple set (0 for the empty set).
+uint64_t HashTupleSet(const std::unordered_set<Tuple, TupleHasher>& set);
+
+}  // namespace wdl
+
+#endif  // WDL_ENGINE_ENGINE_H_

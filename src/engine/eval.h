@@ -1,0 +1,101 @@
+#ifndef WDL_ENGINE_EVAL_H_
+#define WDL_ENGINE_EVAL_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ast/fact.h"
+#include "ast/rule.h"
+#include "engine/binding.h"
+#include "engine/delegation.h"
+#include "storage/catalog.h"
+
+namespace wdl {
+
+/// Newly derived tuples per relation name in the previous fixpoint
+/// iteration — the Δ of semi-naive evaluation.
+using DeltaMap =
+    std::unordered_map<std::string, std::unordered_set<Tuple, TupleHasher>>;
+
+struct EvalOptions {
+  /// When false, every atom match scans the full relation; used by the
+  /// join ablation (bench_join) to quantify what the indexes buy.
+  bool use_indexes = true;
+};
+
+/// Per-evaluation counters (observability and bench instrumentation).
+struct EvalCounters {
+  uint64_t tuples_examined = 0;
+  uint64_t bindings_completed = 0;
+  uint64_t delegations_emitted = 0;
+};
+
+/// Evaluates single rules against a peer's local catalog, left to right,
+/// producing head instantiations and delegation splits.
+///
+/// Routing of results follows the WebdamLog stage semantics:
+///  - a completed body with a head located at this peer derives a local
+///    fact (`on_local_fact`);
+///  - a completed body with a remote head contributes to the derived set
+///    shipped to that peer (`on_remote_fact`);
+///  - hitting a body atom located at a *remote* peer stops local
+///    evaluation and emits the residual rule as a Delegation
+///    (`on_delegation`) — the paper's signature feature.
+class RuleEvaluator {
+ public:
+  struct Sinks {
+    std::function<void(const Fact&)> on_local_fact;
+    std::function<void(const Fact&)> on_remote_fact;
+    std::function<void(const Delegation&)> on_delegation;
+  };
+
+  RuleEvaluator(Catalog* catalog, std::string self_peer, EvalOptions options)
+      : catalog_(catalog),
+        self_peer_(std::move(self_peer)),
+        options_(options) {}
+
+  /// Evaluates `rule`. When `delta` is non-null and `delta_pos >= 0`,
+  /// the positive body atom at index `delta_pos` matches only tuples in
+  /// the Δ-set of its resolved relation (semi-naive restriction); all
+  /// other atoms match full relations. Pass delta == nullptr for a full
+  /// (naive / first-iteration) evaluation.
+  void Evaluate(const Rule& rule, const DeltaMap* delta, int delta_pos,
+                const Sinks& sinks);
+
+  const EvalCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = EvalCounters(); }
+
+ private:
+  void MatchFrom(const Rule& rule, size_t atom_index, Binding* binding,
+                 const DeltaMap* delta, int delta_pos, const Sinks& sinks);
+  void EmitHead(const Rule& rule, const Binding& binding,
+                const Sinks& sinks);
+  void EmitDelegation(const Rule& rule, size_t split_index,
+                      const std::string& target, const Binding& binding,
+                      const Sinks& sinks);
+
+  Catalog* catalog_;
+  std::string self_peer_;
+  EvalOptions options_;
+  EvalCounters counters_;
+};
+
+/// Resolves a relation/peer term under `binding`. Returns nullptr when
+/// the term is a variable bound to a non-string value (such a binding
+/// cannot name a relation or peer, so the branch is dead) and points to
+/// the resolved name otherwise. `storage` provides space when the name
+/// must be materialized from the binding.
+const std::string* ResolveSym(const SymTerm& sym, const Binding& binding,
+                              std::string* storage);
+
+/// Applies `binding` to every term of `atom`; bound variables become
+/// constants (string bindings in relation/peer position become names),
+/// unbound variables stay. Returns false when a relation/peer variable
+/// is bound to a non-string value.
+bool SubstituteAtom(const Atom& atom, const Binding& binding, Atom* out);
+
+}  // namespace wdl
+
+#endif  // WDL_ENGINE_EVAL_H_

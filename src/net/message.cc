@@ -1,0 +1,92 @@
+#include "net/message.h"
+
+#include "base/string_util.h"
+
+namespace wdl {
+
+const char* MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kFactInserts: return "FactInserts";
+    case MessageType::kFactDeletes: return "FactDeletes";
+    case MessageType::kDerivedSet: return "DerivedSet";
+    case MessageType::kDelegationInstall: return "DelegationInstall";
+    case MessageType::kDelegationRetract: return "DelegationRetract";
+    case MessageType::kHello: return "Hello";
+  }
+  return "?";
+}
+
+Message Message::FactInserts(std::vector<Fact> facts) {
+  Message m;
+  m.type = MessageType::kFactInserts;
+  m.facts = std::move(facts);
+  return m;
+}
+
+Message Message::FactDeletes(std::vector<Fact> facts) {
+  Message m;
+  m.type = MessageType::kFactDeletes;
+  m.facts = std::move(facts);
+  return m;
+}
+
+Message Message::MakeDerivedSet(DerivedSet set) {
+  Message m;
+  m.type = MessageType::kDerivedSet;
+  m.derived = std::move(set);
+  return m;
+}
+
+Message Message::DelegationInstall(Delegation d) {
+  Message m;
+  m.type = MessageType::kDelegationInstall;
+  m.delegation = std::move(d);
+  return m;
+}
+
+Message Message::DelegationRetract(uint64_t key) {
+  Message m;
+  m.type = MessageType::kDelegationRetract;
+  m.delegation_key = key;
+  return m;
+}
+
+Message Message::Hello(std::string peer_name) {
+  Message m;
+  m.type = MessageType::kHello;
+  m.text = std::move(peer_name);
+  return m;
+}
+
+std::string Message::ToString() const {
+  std::string out = MessageTypeToString(type);
+  switch (type) {
+    case MessageType::kFactInserts:
+    case MessageType::kFactDeletes:
+      out += StrFormat("(%zu facts)", facts.size());
+      break;
+    case MessageType::kDerivedSet:
+      out += StrFormat("(%s@%s, %zu tuples)", derived.relation.c_str(),
+                       derived.target_peer.c_str(), derived.tuples.size());
+      break;
+    case MessageType::kDelegationInstall:
+      out += "(" + delegation.rule.ToString() + ")";
+      break;
+    case MessageType::kDelegationRetract:
+      out += StrFormat("(key=%llu)",
+                       static_cast<unsigned long long>(delegation_key));
+      break;
+    case MessageType::kHello:
+      out += "(" + text + ")";
+      break;
+  }
+  return out;
+}
+
+std::string Envelope::ToString() const {
+  return StrFormat("[%s -> %s #%llu] ", from.c_str(), to.c_str(),
+                   static_cast<unsigned long long>(seq)) +
+         message.ToString();
+}
+
+}  // namespace wdl

@@ -1,0 +1,61 @@
+#ifndef WDL_NET_MESSAGE_H_
+#define WDL_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/fact.h"
+#include "engine/engine.h"
+
+namespace wdl {
+
+/// Wire message taxonomy. The first three carry data (facts/updates),
+/// the next two carry programs (delegations) — the paper's step 3:
+/// "the peer sends facts (updates) and rules (delegations) to other
+/// peers". kHello is peer discovery.
+enum class MessageType : uint8_t {
+  kFactInserts = 0,       // base-fact updates, persistent at receiver
+  kFactDeletes = 1,       // base-fact deletions
+  kDerivedSet = 2,        // sender's full derived contribution (see Engine)
+  kDelegationInstall = 3, // install a residual rule at the receiver
+  kDelegationRetract = 4, // retract a previously installed delegation
+  kHello = 5,             // peer announcement (discovery)
+};
+
+const char* MessageTypeToString(MessageType type);
+
+/// One message. Exactly the payload fields for `type` are meaningful.
+struct Message {
+  MessageType type = MessageType::kHello;
+  std::vector<Fact> facts;     // kFactInserts / kFactDeletes
+  DerivedSet derived;          // kDerivedSet
+  Delegation delegation;       // kDelegationInstall
+  uint64_t delegation_key = 0; // kDelegationRetract
+  std::string text;            // kHello: announced peer name
+
+  static Message FactInserts(std::vector<Fact> facts);
+  static Message FactDeletes(std::vector<Fact> facts);
+  static Message MakeDerivedSet(DerivedSet set);
+  static Message DelegationInstall(Delegation d);
+  static Message DelegationRetract(uint64_t key);
+  static Message Hello(std::string peer_name);
+
+  std::string ToString() const;
+};
+
+/// A routed message: source and destination peer plus a per-sender
+/// sequence number (used for deterministic tie-breaking in the
+/// simulator and for debugging).
+struct Envelope {
+  std::string from;
+  std::string to;
+  uint64_t seq = 0;
+  Message message;
+
+  std::string ToString() const;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_NET_MESSAGE_H_

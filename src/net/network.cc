@@ -1,0 +1,77 @@
+#include "net/network.h"
+
+#include "base/logging.h"
+#include "net/wire.h"
+
+namespace wdl {
+
+SimulatedNetwork::SimulatedNetwork(uint64_t seed, LinkConfig default_link)
+    : rng_(seed), default_link_(default_link) {}
+
+void SimulatedNetwork::SetLink(const std::string& from, const std::string& to,
+                               LinkConfig config) {
+  links_[{from, to}] = config;
+}
+
+void SimulatedNetwork::SetPartitioned(const std::string& a,
+                                      const std::string& b,
+                                      bool partitioned) {
+  if (partitioned) {
+    partitions_.insert({a, b});
+    partitions_.insert({b, a});
+  } else {
+    partitions_.erase({a, b});
+    partitions_.erase({b, a});
+  }
+}
+
+const LinkConfig& SimulatedNetwork::LinkFor(const std::string& from,
+                                            const std::string& to) const {
+  auto it = links_.find({from, to});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+Status SimulatedNetwork::Submit(Envelope envelope, double now) {
+  ++stats_.messages_submitted;
+  if (partitions_.count({envelope.from, envelope.to})) {
+    ++stats_.messages_partitioned;
+    return Status::OK();  // silently lost, like a real partition
+  }
+  const LinkConfig& link = LinkFor(envelope.from, envelope.to);
+  if (link.drop_probability > 0.0 && rng_.NextBool(link.drop_probability)) {
+    ++stats_.messages_dropped;
+    return Status::OK();
+  }
+  std::string bytes = EncodeEnvelope(envelope);
+  stats_.bytes_sent += bytes.size();
+  ++edge_messages_[{envelope.from, envelope.to}];
+
+  double latency = link.latency;
+  if (link.jitter > 0.0) latency += rng_.NextDouble() * link.jitter;
+
+  InFlight f;
+  f.deliver_at = now + latency;
+  f.seq = next_seq_++;
+  f.bytes = std::move(bytes);
+  in_flight_.push(std::move(f));
+  return Status::OK();
+}
+
+std::vector<Envelope> SimulatedNetwork::DeliverDue(double now) {
+  std::vector<Envelope> due;
+  while (!in_flight_.empty() && in_flight_.top().deliver_at <= now) {
+    const InFlight& f = in_flight_.top();
+    Result<Envelope> decoded = DecodeEnvelope(f.bytes);
+    if (decoded.ok()) {
+      due.push_back(std::move(decoded).value());
+      ++stats_.messages_delivered;
+    } else {
+      // Can only happen on a codec bug; make it loud.
+      WDL_LOG(Error) << "wire decode failed: " << decoded.status();
+    }
+    in_flight_.pop();
+  }
+  return due;
+}
+
+}  // namespace wdl

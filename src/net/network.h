@@ -1,0 +1,113 @@
+#ifndef WDL_NET_NETWORK_H_
+#define WDL_NET_NETWORK_H_
+
+#include <map>
+#include <queue>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/result.h"
+#include "base/rng.h"
+#include "net/message.h"
+
+namespace wdl {
+
+/// Delivery characteristics of one directed link. Latency is measured
+/// in stage-time units (1.0 = one system round); the default 0.5 means
+/// "arrives before the next round", matching a LAN where message
+/// delivery is faster than a computation stage.
+struct LinkConfig {
+  double latency = 0.5;
+  double jitter = 0.0;           // uniform extra latency in [0, jitter)
+  double drop_probability = 0.0; // iid per message
+};
+
+struct NetworkStats {
+  uint64_t messages_submitted = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;    // random loss
+  uint64_t messages_partitioned = 0; // lost to a partition
+  uint64_t bytes_sent = 0;
+
+  void Reset() { *this = NetworkStats(); }
+};
+
+/// Abstract transport between peers, addressed by peer name.
+class Network {
+ public:
+  virtual ~Network() = default;
+  /// Queues an envelope for delivery; `now` is current system time.
+  virtual Status Submit(Envelope envelope, double now) = 0;
+  /// Pops every envelope whose delivery time is <= `now`, in delivery
+  /// order (time, then submission sequence).
+  virtual std::vector<Envelope> DeliverDue(double now) = 0;
+  virtual bool HasInFlight() const = 0;
+};
+
+/// Deterministic in-process network simulator. Every envelope is
+/// round-tripped through the binary wire codec (encode on submit,
+/// decode on delivery), so byte accounting is exact and the codec is on
+/// the hot path of every experiment. Jitter and drops come from a
+/// seeded PRNG: identical seeds replay identical executions.
+///
+/// This is the paper-substitution for the live LAN + cloud deployment;
+/// see DESIGN.md §2. Latency/jitter/drop/partition knobs let tests
+/// exercise reorderings and failures that a demo floor never shows.
+class SimulatedNetwork : public Network {
+ public:
+  explicit SimulatedNetwork(uint64_t seed = 42,
+                            LinkConfig default_link = LinkConfig{});
+
+  /// Overrides the link from `from` to `to` (directed).
+  void SetLink(const std::string& from, const std::string& to,
+               LinkConfig config);
+
+  /// Severs (or heals) both directions between `a` and `b`. Messages
+  /// submitted while partitioned are lost, as over a real WAN cut.
+  void SetPartitioned(const std::string& a, const std::string& b,
+                      bool partitioned);
+
+  Status Submit(Envelope envelope, double now) override;
+  std::vector<Envelope> DeliverDue(double now) override;
+  bool HasInFlight() const override { return !in_flight_.empty(); }
+
+  const NetworkStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Per-directed-edge message counts, for topology experiments (F2).
+  const std::map<std::pair<std::string, std::string>, uint64_t>&
+  edge_message_counts() const {
+    return edge_messages_;
+  }
+
+ private:
+  struct InFlight {
+    double deliver_at;
+    uint64_t seq;
+    std::string bytes;
+
+    bool operator>(const InFlight& o) const {
+      if (deliver_at != o.deliver_at) return deliver_at > o.deliver_at;
+      return seq > o.seq;
+    }
+  };
+
+  const LinkConfig& LinkFor(const std::string& from,
+                            const std::string& to) const;
+
+  Rng rng_;
+  LinkConfig default_link_;
+  std::map<std::pair<std::string, std::string>, LinkConfig> links_;
+  std::set<std::pair<std::string, std::string>> partitions_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
+      in_flight_;
+  uint64_t next_seq_ = 0;
+  NetworkStats stats_;
+  std::map<std::pair<std::string, std::string>, uint64_t> edge_messages_;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_NET_NETWORK_H_

@@ -1,0 +1,281 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "base/string_util.h"
+
+namespace wdl {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kString: return "string";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDouble: return "double";
+    case TokenKind::kBlob: return "blob";
+    case TokenKind::kAt: return "'@'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColonDash: return "':-'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier '" + text + "'";
+    case TokenKind::kVariable: return "variable '$" + text + "'";
+    case TokenKind::kString: return "string \"" + EscapeString(text) + "\"";
+    case TokenKind::kInt: return "integer " + std::to_string(int_value);
+    case TokenKind::kDouble: return "double " + std::to_string(double_value);
+    case TokenKind::kBlob: return "blob (" + std::to_string(text.size()) + " bytes)";
+    default: return TokenKindToString(kind);
+  }
+}
+
+namespace {
+
+// Cursor over the source with line/column tracking.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view src) : src_(src) {}
+
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek() const { return AtEnd() ? '\0' : src_[pos_]; }
+  char PeekAt(size_t off) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  int line() const { return line_; }
+  int column() const { return column_; }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(StrFormat("%d:%d: %s", line_, column_,
+                                        msg.c_str()));
+  }
+
+ private:
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view src) {
+  Scanner s(src);
+  std::vector<Token> tokens;
+
+  auto push = [&](TokenKind kind, int line, int column) -> Token& {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    tokens.push_back(std::move(t));
+    return tokens.back();
+  };
+
+  while (!s.AtEnd()) {
+    char c = s.Peek();
+    int line = s.line(), column = s.column();
+
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      s.Advance();
+      continue;
+    }
+    // Comments.
+    if (c == '#') {
+      while (!s.AtEnd() && s.Peek() != '\n') s.Advance();
+      continue;
+    }
+    if (c == '/' && s.PeekAt(1) == '/') {
+      while (!s.AtEnd() && s.Peek() != '\n') s.Advance();
+      continue;
+    }
+    if (c == '/' && s.PeekAt(1) == '*') {
+      s.Advance();
+      s.Advance();
+      bool closed = false;
+      while (!s.AtEnd()) {
+        if (s.Peek() == '*' && s.PeekAt(1) == '/') {
+          s.Advance();
+          s.Advance();
+          closed = true;
+          break;
+        }
+        s.Advance();
+      }
+      if (!closed) return s.Error("unterminated block comment");
+      continue;
+    }
+
+    // Punctuation.
+    if (c == '@') { s.Advance(); push(TokenKind::kAt, line, column); continue; }
+    if (c == '(') { s.Advance(); push(TokenKind::kLParen, line, column); continue; }
+    if (c == ')') { s.Advance(); push(TokenKind::kRParen, line, column); continue; }
+    if (c == ',') { s.Advance(); push(TokenKind::kComma, line, column); continue; }
+    if (c == ';') { s.Advance(); push(TokenKind::kSemicolon, line, column); continue; }
+    if (c == ':') {
+      s.Advance();
+      if (s.Peek() == '-') {
+        s.Advance();
+        push(TokenKind::kColonDash, line, column);
+      } else {
+        push(TokenKind::kColon, line, column);
+      }
+      continue;
+    }
+
+    // Variables: $name or anonymous $_.
+    if (c == '$') {
+      s.Advance();
+      std::string name;
+      while (!s.AtEnd() && IsIdentChar(s.Peek())) name += s.Advance();
+      if (name.empty()) return s.Error("'$' must be followed by a variable name");
+      Token& t = push(TokenKind::kVariable, line, column);
+      t.text = std::move(name);
+      continue;
+    }
+
+    // Strings.
+    if (c == '"') {
+      s.Advance();
+      std::string raw;
+      bool closed = false;
+      while (!s.AtEnd()) {
+        char d = s.Advance();
+        if (d == '"') { closed = true; break; }
+        if (d == '\\') {
+          if (s.AtEnd()) return s.Error("unterminated escape in string");
+          raw += '\\';
+          raw += s.Advance();
+          continue;
+        }
+        if (d == '\n') return s.Error("newline in string literal");
+        raw += d;
+      }
+      if (!closed) return s.Error("unterminated string literal");
+      std::string unescaped;
+      if (!UnescapeString(raw, &unescaped)) {
+        return s.Error("invalid escape sequence in string literal");
+      }
+      Token& t = push(TokenKind::kString, line, column);
+      t.text = std::move(unescaped);
+      continue;
+    }
+
+    // A bare '-' (not starting a numeric literal) marks a deletion-rule
+    // head.
+    if (c == '-' && !IsDigit(s.PeekAt(1))) {
+      s.Advance();
+      push(TokenKind::kMinus, line, column);
+      continue;
+    }
+
+    // Numbers and blobs. `0x...` is a blob literal; numbers may carry a
+    // leading '-' and a fractional/exponent part.
+    if (IsDigit(c) || (c == '-' && IsDigit(s.PeekAt(1)))) {
+      if (c == '0' && (s.PeekAt(1) == 'x' || s.PeekAt(1) == 'X')) {
+        s.Advance();
+        s.Advance();
+        std::string bytes;
+        std::string hex;
+        while (!s.AtEnd() && HexNibble(s.Peek()) >= 0) hex += s.Advance();
+        if (hex.empty()) return s.Error("empty blob literal after 0x");
+        if (hex.size() % 2 != 0) {
+          return s.Error("blob literal must have an even number of hex digits");
+        }
+        for (size_t i = 0; i < hex.size(); i += 2) {
+          bytes += static_cast<char>((HexNibble(hex[i]) << 4) |
+                                     HexNibble(hex[i + 1]));
+        }
+        Token& t = push(TokenKind::kBlob, line, column);
+        t.text = std::move(bytes);
+        continue;
+      }
+      std::string num;
+      if (c == '-') num += s.Advance();
+      bool is_double = false;
+      while (!s.AtEnd() && IsDigit(s.Peek())) num += s.Advance();
+      if (s.Peek() == '.' && IsDigit(s.PeekAt(1))) {
+        is_double = true;
+        num += s.Advance();
+        while (!s.AtEnd() && IsDigit(s.Peek())) num += s.Advance();
+      }
+      if (s.Peek() == 'e' || s.Peek() == 'E') {
+        char next = s.PeekAt(1);
+        char next2 = s.PeekAt(2);
+        if (IsDigit(next) ||
+            ((next == '+' || next == '-') && IsDigit(next2))) {
+          is_double = true;
+          num += s.Advance();
+          if (s.Peek() == '+' || s.Peek() == '-') num += s.Advance();
+          while (!s.AtEnd() && IsDigit(s.Peek())) num += s.Advance();
+        }
+      }
+      if (is_double) {
+        Token& t = push(TokenKind::kDouble, line, column);
+        t.double_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(num.c_str(), &end, 10);
+        if (errno == ERANGE) return s.Error("integer literal out of range: " + num);
+        Token& t = push(TokenKind::kInt, line, column);
+        t.int_value = static_cast<int64_t>(v);
+      }
+      continue;
+    }
+
+    // Identifiers (including keywords `collection`, `ext`, `int`, `fact`,
+    // `rule`, `not` — keyword-ness is decided by the parser).
+    if (IsIdentStart(c)) {
+      std::string name;
+      while (!s.AtEnd() && IsIdentChar(s.Peek())) name += s.Advance();
+      Token& t = push(TokenKind::kIdent, line, column);
+      t.text = std::move(name);
+      continue;
+    }
+
+    return s.Error(StrFormat("unexpected character '%c'", c));
+  }
+
+  push(TokenKind::kEof, s.line(), s.column());
+  return tokens;
+}
+
+}  // namespace wdl

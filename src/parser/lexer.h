@@ -1,0 +1,50 @@
+#ifndef WDL_PARSER_LEXER_H_
+#define WDL_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+
+namespace wdl {
+
+enum class TokenKind : uint8_t {
+  kIdent,     // pictures, sigmod, not (keywords are idents)
+  kVariable,  // $x  (text holds "x")
+  kString,    // "sea.jpg" (text holds the unescaped contents)
+  kInt,       // 42, -7
+  kDouble,    // 3.14, -2.5e3
+  kBlob,      // 0xdeadbeef (text holds the decoded bytes)
+  kAt,        // @
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kSemicolon, // ;
+  kColonDash, // :-
+  kColon,     // :
+  kMinus,     // -  (deletion-rule head marker)
+  kEof,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;    // identifier / variable / string / blob payload
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 1;        // 1-based position of the first character
+  int column = 1;
+
+  std::string Describe() const;
+};
+
+/// Tokenizes a full WebdamLog source string. Comments (`// …`, `# …`,
+/// `/* … */`) are skipped. Errors carry line:column positions.
+Result<std::vector<Token>> Tokenize(std::string_view src);
+
+}  // namespace wdl
+
+#endif  // WDL_PARSER_LEXER_H_

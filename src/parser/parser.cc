@@ -1,0 +1,277 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "parser/lexer.h"
+
+namespace wdl {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAt(size_t off) const {
+    size_t i = pos_ + off;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEof; }
+
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckIdent(std::string_view text) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == text;
+  }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  bool MatchIdent(std::string_view text) {
+    if (!CheckIdent(text)) return false;
+    Advance();
+    return true;
+  }
+
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::ParseError(StrFormat("%d:%d: %s (found %s)", t.line,
+                                        t.column, msg.c_str(),
+                                        t.Describe().c_str()));
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::OK();
+    return Error(StrFormat("expected %s", TokenKindToString(kind)));
+  }
+
+  // --- Grammar productions -------------------------------------------
+
+  // symterm := IDENT | VARIABLE
+  Result<SymTerm> ParseSymTerm() {
+    if (Check(TokenKind::kIdent)) {
+      return SymTerm::Name(Advance().text);
+    }
+    if (Check(TokenKind::kVariable)) {
+      return SymTerm::Variable(NormalizeVar(Advance().text));
+    }
+    return Error("expected relation/peer name or variable");
+  }
+
+  // term := VARIABLE | INT | DOUBLE | STRING | BLOB
+  Result<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable:
+        return Term::Variable(NormalizeVar(Advance().text));
+      case TokenKind::kInt:
+        return Term::Constant(Value::Int(Advance().int_value));
+      case TokenKind::kDouble:
+        return Term::Constant(Value::Double(Advance().double_value));
+      case TokenKind::kString:
+        return Term::Constant(Value::String(Advance().text));
+      case TokenKind::kBlob:
+        return Term::Constant(Value::MakeBlob(Advance().text));
+      case TokenKind::kIdent:
+        // Bare identifiers in argument positions are a common user error
+        // (unquoted strings); reject with a helpful message.
+        return Error("bare identifier in argument position; quote it as a "
+                     "string or prefix with '$' for a variable");
+      default:
+        return Error("expected a term (constant or variable)");
+    }
+  }
+
+  // atom := ['not'] symterm '@' symterm '(' [term (',' term)*] ')'
+  Result<Atom> ParseAtom() {
+    bool negated = MatchIdent("not");
+    WDL_ASSIGN_OR_RETURN(SymTerm relation, ParseSymTerm());
+    WDL_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+    WDL_ASSIGN_OR_RETURN(SymTerm peer, ParseSymTerm());
+    WDL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    std::vector<Term> args;
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        WDL_ASSIGN_OR_RETURN(Term term, ParseTerm());
+        args.push_back(std::move(term));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    WDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return Atom(std::move(relation), std::move(peer), std::move(args),
+                negated);
+  }
+
+  // rule := ['-'] atom ':-' atom (',' atom)*  (head must not be negated;
+  // a leading '-' makes it a deletion rule)
+  Result<Rule> ParseRuleFromHead(Atom head, bool head_deletes) {
+    if (head.negated) {
+      return Status::ParseError("rule head must not be negated");
+    }
+    WDL_RETURN_IF_ERROR(Expect(TokenKind::kColonDash));
+    std::vector<Atom> body;
+    while (true) {
+      WDL_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      body.push_back(std::move(atom));
+      if (!Match(TokenKind::kComma)) break;
+    }
+    Rule rule(std::move(head), std::move(body));
+    rule.head_deletes = head_deletes;
+    return rule;
+  }
+
+  Result<Fact> FactFromAtom(const Atom& atom) {
+    if (atom.negated) {
+      return Status::ParseError("a fact cannot be negated");
+    }
+    if (!atom.IsGround()) {
+      return Status::ParseError(
+          "fact must be ground (no variables): " + atom.ToString());
+    }
+    return atom.ToFact();
+  }
+
+  // decl := 'collection' ('ext'|'int') ['persistent'] IDENT '@' IDENT
+  //         '(' col (',' col)* ')'
+  // col  := IDENT [':' ('int'|'double'|'string'|'blob'|'any')]
+  Result<RelationDecl> ParseDecl() {
+    RelationDecl decl;
+    if (MatchIdent("ext")) {
+      decl.kind = RelationKind::kExtensional;
+    } else if (MatchIdent("int") || MatchIdent("intensional")) {
+      decl.kind = RelationKind::kIntensional;
+    } else {
+      return Error("expected 'ext' or 'int' after 'collection'");
+    }
+    MatchIdent("persistent");  // accepted for compatibility, implied by ext
+    if (!Check(TokenKind::kIdent)) return Error("expected relation name");
+    decl.relation = Advance().text;
+    WDL_RETURN_IF_ERROR(Expect(TokenKind::kAt));
+    if (!Check(TokenKind::kIdent)) return Error("expected peer name");
+    decl.peer = Advance().text;
+    WDL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!Check(TokenKind::kRParen)) {
+      while (true) {
+        if (!Check(TokenKind::kIdent)) return Error("expected column name");
+        ColumnSpec col;
+        col.name = Advance().text;
+        if (Match(TokenKind::kColon)) {
+          if (!Check(TokenKind::kIdent)) return Error("expected column type");
+          std::string type = Advance().text;
+          if (type == "int") {
+            col.type = ValueKind::kInt;
+          } else if (type == "double") {
+            col.type = ValueKind::kDouble;
+          } else if (type == "string") {
+            col.type = ValueKind::kString;
+          } else if (type == "blob") {
+            col.type = ValueKind::kBlob;
+          } else if (type == "any") {
+            col.type = ValueKind::kAny;
+          } else {
+            return Status::ParseError("unknown column type '" + type + "'");
+          }
+        }
+        decl.columns.push_back(std::move(col));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    WDL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return decl;
+  }
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!AtEnd()) {
+      if (Match(TokenKind::kSemicolon)) continue;  // stray ';' tolerated
+      if (MatchIdent("collection")) {
+        WDL_ASSIGN_OR_RETURN(RelationDecl decl, ParseDecl());
+        program.declarations.push_back(std::move(decl));
+      } else if (MatchIdent("rule")) {
+        bool deletes = Match(TokenKind::kMinus);
+        WDL_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+        WDL_ASSIGN_OR_RETURN(Rule rule,
+                             ParseRuleFromHead(std::move(head), deletes));
+        program.rules.push_back(std::move(rule));
+      } else if (MatchIdent("fact")) {
+        WDL_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+        WDL_ASSIGN_OR_RETURN(Fact fact, FactFromAtom(atom));
+        program.facts.push_back(std::move(fact));
+      } else if (Match(TokenKind::kMinus)) {
+        // Bare deletion rule: -head :- body.
+        WDL_ASSIGN_OR_RETURN(Atom head, ParseAtom());
+        WDL_ASSIGN_OR_RETURN(Rule rule,
+                             ParseRuleFromHead(std::move(head), true));
+        program.rules.push_back(std::move(rule));
+      } else {
+        // Bare statement: an atom, then ':-' decides rule vs fact.
+        WDL_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+        if (Check(TokenKind::kColonDash)) {
+          WDL_ASSIGN_OR_RETURN(Rule rule,
+                               ParseRuleFromHead(std::move(atom), false));
+          program.rules.push_back(std::move(rule));
+        } else {
+          WDL_ASSIGN_OR_RETURN(Fact fact, FactFromAtom(atom));
+          program.facts.push_back(std::move(fact));
+        }
+      }
+      if (!AtEnd()) {
+        WDL_RETURN_IF_ERROR(Expect(TokenKind::kSemicolon));
+      }
+    }
+    return program;
+  }
+
+ private:
+  // '$_' is an anonymous variable: each occurrence becomes a fresh name
+  // so two underscores never accidentally join.
+  std::string NormalizeVar(const std::string& name) {
+    if (name == "_") return "_anon" + std::to_string(anon_counter_++);
+    return name;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view src) {
+  WDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(src));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgram();
+}
+
+Result<Rule> ParseRule(std::string_view src) {
+  WDL_ASSIGN_OR_RETURN(Program program, ParseProgram(src));
+  if (program.rules.size() != 1 || !program.facts.empty() ||
+      !program.declarations.empty()) {
+    return Status::ParseError("expected exactly one rule");
+  }
+  return std::move(program.rules[0]);
+}
+
+Result<Fact> ParseFact(std::string_view src) {
+  WDL_ASSIGN_OR_RETURN(Program program, ParseProgram(src));
+  if (program.facts.size() != 1 || !program.rules.empty() ||
+      !program.declarations.empty()) {
+    return Status::ParseError("expected exactly one fact");
+  }
+  return std::move(program.facts[0]);
+}
+
+Result<Atom> ParseAtom(std::string_view src) {
+  WDL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(src));
+  Parser parser(std::move(tokens));
+  WDL_ASSIGN_OR_RETURN(Atom atom, parser.ParseAtom());
+  parser.Match(TokenKind::kSemicolon);
+  if (!parser.AtEnd()) {
+    return parser.Error("trailing input after atom");
+  }
+  return atom;
+}
+
+}  // namespace wdl

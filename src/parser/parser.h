@@ -1,0 +1,35 @@
+#ifndef WDL_PARSER_PARSER_H_
+#define WDL_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "ast/program.h"
+#include "base/result.h"
+
+namespace wdl {
+
+/// Parses a full WebdamLog source text: a sequence of statements, each
+/// terminated by ';'. Statements are:
+///
+///   collection ext|int name@peer(col[: type], ...);
+///   [fact] name@peer(v1, ..., vn);                  // ground fact
+///   [rule] head :- atom, not atom, ...;             // rule
+///
+/// The `fact`/`rule` keywords are optional — the paper writes both bare;
+/// a statement with ':-' is a rule, a ground atom is a fact. Relation
+/// and peer positions accept variables ($R@$P). Anonymous variables
+/// `$_` are renamed apart ("_anon0", "_anon1", ...).
+Result<Program> ParseProgram(std::string_view src);
+
+/// Parses a single rule, with or without the `rule` keyword / trailing ';'.
+Result<Rule> ParseRule(std::string_view src);
+
+/// Parses a single ground fact, with or without `fact` / trailing ';'.
+Result<Fact> ParseFact(std::string_view src);
+
+/// Parses a single (possibly non-ground, possibly negated) atom.
+Result<Atom> ParseAtom(std::string_view src);
+
+}  // namespace wdl
+
+#endif  // WDL_PARSER_PARSER_H_

@@ -1,0 +1,123 @@
+#include "runtime/peer.h"
+
+#include "base/logging.h"
+#include "parser/parser.h"
+
+namespace wdl {
+
+Peer::Peer(std::string name, PeerOptions options)
+    : name_(std::move(name)),
+      options_(options),
+      engine_(name_, options.engine) {}
+
+Status Peer::LoadProgramText(std::string_view source) {
+  WDL_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
+  return engine_.LoadProgram(program);
+}
+
+Status Peer::LoadProgram(const Program& program) {
+  return engine_.LoadProgram(program);
+}
+
+Result<uint64_t> Peer::AddRuleText(std::string_view rule_text) {
+  WDL_ASSIGN_OR_RETURN(Rule rule, ParseRule(rule_text));
+  return engine_.AddRule(rule);
+}
+
+void Peer::HandleEnvelope(const Envelope& envelope) {
+  known_peers_.insert(envelope.from);
+  const Message& m = envelope.message;
+  switch (m.type) {
+    case MessageType::kFactInserts:
+      engine_.EnqueueFactInserts(m.facts);
+      break;
+    case MessageType::kFactDeletes:
+      engine_.EnqueueFactDeletes(m.facts);
+      break;
+    case MessageType::kDerivedSet:
+      engine_.EnqueueDerivedSet(envelope.from, m.derived);
+      break;
+    case MessageType::kDelegationInstall: {
+      DelegationGate::Decision decision =
+          options_.trust_all_delegations
+              ? DelegationGate::Decision::kAccepted
+              : gate_.OnArrival(m.delegation);
+      if (decision == DelegationGate::Decision::kAccepted) {
+        Status st = engine_.InstallDelegatedRule(m.delegation);
+        if (!st.ok()) {
+          WDL_LOG(Warning) << name_ << ": rejected delegation from "
+                           << m.delegation.origin_peer << ": " << st;
+        }
+      }
+      break;
+    }
+    case MessageType::kDelegationRetract:
+      if (!gate_.OnRetraction(m.delegation_key)) {
+        engine_.RetractDelegatedRule(m.delegation_key);
+      }
+      break;
+    case MessageType::kHello:
+      known_peers_.insert(m.text);
+      break;
+  }
+}
+
+std::vector<Envelope> Peer::RunStage() {
+  StageResult result = engine_.RunStage();
+  std::vector<Envelope> out;
+  for (auto& [target, outbound] : result.outbound) {
+    auto make_envelope = [&](Message message) {
+      Envelope e;
+      e.from = name_;
+      e.to = target;
+      e.seq = next_seq_++;
+      e.message = std::move(message);
+      out.push_back(std::move(e));
+    };
+    for (DerivedSet& ds : outbound.derived_sets) {
+      make_envelope(Message::MakeDerivedSet(std::move(ds)));
+    }
+    if (!outbound.fact_deletes.empty()) {
+      make_envelope(Message::FactDeletes(std::move(outbound.fact_deletes)));
+    }
+    for (Delegation& d : outbound.delegation_installs) {
+      make_envelope(Message::DelegationInstall(std::move(d)));
+    }
+    for (uint64_t key : outbound.delegation_retracts) {
+      make_envelope(Message::DelegationRetract(key));
+    }
+  }
+  return out;
+}
+
+Status Peer::ApproveDelegation(uint64_t delegation_key) {
+  WDL_ASSIGN_OR_RETURN(Delegation d, gate_.Approve(delegation_key));
+  return engine_.InstallDelegatedRule(d);
+}
+
+Status Peer::RejectDelegation(uint64_t delegation_key) {
+  return gate_.Reject(delegation_key);
+}
+
+std::string Peer::RenderProgramView() const {
+  std::string out = "=== " + name_ + " ===\n";
+  out += engine_.ProgramListing();
+  out += gate_.RenderPending();
+  return out;
+}
+
+std::string Peer::RenderRelation(const std::string& relation) const {
+  const Relation* rel = engine_.catalog().Get(relation);
+  std::string out = relation + "@" + name_;
+  if (rel == nullptr) {
+    return out + ": (not declared)\n";
+  }
+  out += " [" + std::string(RelationKindToString(rel->kind())) + ", " +
+         std::to_string(rel->size()) + " tuples]\n";
+  for (const Tuple& t : rel->SortedTuples()) {
+    out += "  " + TupleToString(t) + "\n";
+  }
+  return out;
+}
+
+}  // namespace wdl

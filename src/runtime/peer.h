@@ -1,0 +1,87 @@
+#ifndef WDL_RUNTIME_PEER_H_
+#define WDL_RUNTIME_PEER_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "acl/delegation_gate.h"
+#include "engine/engine.h"
+#include "net/message.h"
+
+namespace wdl {
+
+struct PeerOptions {
+  EngineOptions engine;
+  /// When true, every origin is treated as trusted and delegations
+  /// install without approval (the behavior of peers that opted out of
+  /// delegation control; the default mirrors the paper: untrusted).
+  bool trust_all_delegations = false;
+};
+
+/// One WebdamLog peer: an engine plus the delegation gate and the glue
+/// that turns engine stage output into network envelopes and inbound
+/// envelopes into engine inputs. Peers are driven by a System but can
+/// also be used standalone in tests.
+class Peer {
+ public:
+  explicit Peer(std::string name, PeerOptions options = {});
+
+  Peer(const Peer&) = delete;
+  Peer& operator=(const Peer&) = delete;
+
+  const std::string& name() const { return name_; }
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+  DelegationGate& gate() { return gate_; }
+  const DelegationGate& gate() const { return gate_; }
+
+  /// Parses `source` as WebdamLog text and loads it into the engine.
+  Status LoadProgramText(std::string_view source);
+  Status LoadProgram(const Program& program);
+
+  /// Convenience passthroughs for the user API.
+  Result<bool> Insert(const Fact& fact) { return engine_.InsertFact(fact); }
+  Result<bool> Remove(const Fact& fact) { return engine_.RemoveFact(fact); }
+  Result<uint64_t> AddRuleText(std::string_view rule_text);
+
+  /// Routes one arriving envelope into the engine / delegation gate.
+  void HandleEnvelope(const Envelope& envelope);
+
+  /// Runs one engine stage and returns the envelopes to transmit.
+  std::vector<Envelope> RunStage();
+
+  bool HasPendingWork() const { return engine_.HasPendingWork(); }
+
+  /// Approves a pending delegation: installs the rule ("the program of
+  /// Jules is changed once the approval is granted", §4).
+  Status ApproveDelegation(uint64_t delegation_key);
+  Status RejectDelegation(uint64_t delegation_key);
+
+  /// Peers this peer has heard of (populated by the System registry
+  /// and by Hello messages).
+  const std::set<std::string>& known_peers() const { return known_peers_; }
+  void AddKnownPeer(const std::string& peer) { known_peers_.insert(peer); }
+
+  /// Textual UI: program listing plus the pending-delegation queue
+  /// (the paper's Figure 3 view).
+  std::string RenderProgramView() const;
+
+  /// Textual UI: contents of one relation as a table-ish frame
+  /// (the paper's Figure 1 frames).
+  std::string RenderRelation(const std::string& relation) const;
+
+ private:
+  std::string name_;
+  PeerOptions options_;
+  Engine engine_;
+  DelegationGate gate_;
+  std::set<std::string> known_peers_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_RUNTIME_PEER_H_

@@ -1,0 +1,94 @@
+#include "runtime/query.h"
+
+#include <atomic>
+
+#include "parser/parser.h"
+
+namespace wdl {
+
+std::string QueryResult::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "$" + columns[i];
+  }
+  out += ")\n";
+  for (const Tuple& row : rows) {
+    out += "  " + TupleToString(row) + "\n";
+  }
+  if (rows.empty()) out += "  (no rows)\n";
+  return out;
+}
+
+Result<QueryResult> RunQuery(System* system, const std::string& peer_name,
+                             const std::string& body, int max_rounds) {
+  Peer* peer = system->GetPeer(peer_name);
+  if (peer == nullptr) {
+    return Status::NotFound("no peer named " + peer_name);
+  }
+
+  // Unique name per query so concurrent/nested queries never collide.
+  static std::atomic<uint64_t> counter{0};
+  std::string relation =
+      "__query_" + std::to_string(counter.fetch_add(1));
+
+  // Parse the body by wrapping it in a placeholder rule, then rebuild
+  // the head from the variables in order of first occurrence.
+  WDL_ASSIGN_OR_RETURN(
+      Rule skeleton,
+      ParseRule(relation + "@" + peer_name + "() :- " + body));
+
+  std::vector<std::string> columns;
+  auto note_var = [&](const std::string& v) {
+    for (const std::string& existing : columns) {
+      if (existing == v) return;
+    }
+    columns.push_back(v);
+  };
+  for (const Atom& atom : skeleton.body) {
+    if (atom.relation.is_variable()) note_var(atom.relation.var());
+    if (atom.peer.is_variable()) note_var(atom.peer.var());
+    for (const Term& t : atom.args) {
+      if (t.is_variable()) note_var(t.var());
+    }
+  }
+
+  Rule query_rule = skeleton;
+  query_rule.head.args.clear();
+  for (const std::string& v : columns) {
+    query_rule.head.args.push_back(Term::Variable(v));
+  }
+
+  RelationDecl decl;
+  decl.relation = relation;
+  decl.peer = peer_name;
+  decl.kind = RelationKind::kIntensional;
+  decl.columns.resize(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) {
+    decl.columns[i].name = columns[i];
+    decl.columns[i].type = ValueKind::kAny;
+  }
+  WDL_RETURN_IF_ERROR(peer->engine().DeclareRelation(decl));
+  WDL_ASSIGN_OR_RETURN(uint64_t rule_id,
+                       peer->engine().AddRule(query_rule));
+
+  int rounds_before = system->rounds_run();
+  Result<int> converged = system->RunUntilQuiescent(max_rounds);
+
+  QueryResult result;
+  result.columns = columns;
+  const Relation* rel = peer->engine().catalog().Get(relation);
+  if (rel != nullptr) result.rows = rel->SortedTuples();
+  result.rounds =
+      (converged.ok() ? *converged : system->rounds_run()) - rounds_before;
+
+  // Tear down: remove the rule and converge again so any delegated
+  // residuals are retracted at remote peers.
+  Status removed = peer->engine().RemoveRule(rule_id);
+  (void)system->RunUntilQuiescent(max_rounds);
+  WDL_RETURN_IF_ERROR(removed);
+  if (!converged.ok()) return converged.status();
+  return result;
+}
+
+}  // namespace wdl

@@ -1,0 +1,43 @@
+#ifndef WDL_RUNTIME_QUERY_H_
+#define WDL_RUNTIME_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "runtime/system.h"
+#include "storage/tuple.h"
+
+namespace wdl {
+
+/// Result of an ad-hoc query: one column per distinct variable of the
+/// query body, in order of first occurrence, plus the rows.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Tuple> rows;
+  int rounds = 0;  // system rounds the evaluation took
+
+  std::string ToString() const;
+};
+
+/// Runs an ad-hoc WebdamLog query at `peer` — the §4 "Query tab":
+/// "they will be able to use the Query tab to launch one of the
+/// pre-defined queries, or to write their own WebdamLog queries".
+///
+/// `body` is a comma-separated list of body atoms, e.g.
+///   "selectedAttendee@Jules($a), pictures@$a($id, $name, $o, $d)".
+///
+/// Mechanically: a temporary intensional relation and rule
+///   __query_K@peer($v1, ..., $vn) :- body
+/// are installed, the system runs to quiescence (distributed bodies
+/// delegate as usual, subject to the targets' delegation gates), the
+/// view is snapshotted, and the rule and relation are removed again —
+/// including a second convergence pass so remote residuals retract.
+///
+/// The query must satisfy the usual left-to-right safety conditions.
+Result<QueryResult> RunQuery(System* system, const std::string& peer,
+                             const std::string& body, int max_rounds = 300);
+
+}  // namespace wdl
+
+#endif  // WDL_RUNTIME_QUERY_H_

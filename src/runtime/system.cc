@@ -1,0 +1,125 @@
+#include "runtime/system.h"
+
+#include "base/logging.h"
+
+namespace wdl {
+
+System::System(SystemOptions options)
+    : options_(options),
+      network_(options.network_seed, options.default_link) {}
+
+Peer* System::CreatePeer(const std::string& name, PeerOptions options) {
+  auto [it, inserted] =
+      peers_.emplace(name, std::make_unique<Peer>(name, options));
+  if (!inserted) {
+    WDL_LOG(Warning) << "peer " << name << " already exists";
+    return it->second.get();
+  }
+  Peer* created = it->second.get();
+  for (auto& [other_name, other] : peers_) {
+    if (other_name == name) continue;
+    other->AddKnownPeer(name);
+    created->AddKnownPeer(other_name);
+  }
+  return created;
+}
+
+Peer* System::GetPeer(const std::string& name) {
+  auto it = peers_.find(name);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+const Peer* System::GetPeer(const std::string& name) const {
+  auto it = peers_.find(name);
+  return it == peers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> System::PeerNames() const {
+  std::vector<std::string> names;
+  names.reserve(peers_.size());
+  for (const auto& [name, peer] : peers_) names.push_back(name);
+  return names;
+}
+
+Status System::AttachWrapper(std::unique_ptr<Wrapper> wrapper) {
+  Peer* peer = GetPeer(wrapper->peer_name());
+  if (peer == nullptr) {
+    return Status::NotFound("wrapper's peer " + wrapper->peer_name() +
+                            " does not exist");
+  }
+  WDL_RETURN_IF_ERROR(wrapper->Setup(peer));
+  wrappers_.push_back(std::move(wrapper));
+  return Status::OK();
+}
+
+RoundReport System::RunRound() {
+  RoundReport report;
+  now_ += 1.0;
+  report.round = ++rounds_run_;
+
+  // Deliver everything due by now.
+  for (Envelope& e : network_.DeliverDue(now_)) {
+    Peer* target = GetPeer(e.to);
+    if (target == nullptr) {
+      WDL_LOG(Warning) << "dropping envelope to unknown peer: "
+                       << e.ToString();
+      continue;
+    }
+    target->HandleEnvelope(e);
+    ++report.envelopes_delivered;
+  }
+
+  // Wrappers move external data in/out before the stages.
+  SyncWrappers();
+
+  // Run a stage at every peer with pending work.
+  for (auto& [name, peer] : peers_) {
+    if (!peer->HasPendingWork()) continue;
+    ++report.stages_run;
+    for (Envelope& e : peer->RunStage()) {
+      Status st = network_.Submit(std::move(e), now_);
+      if (!st.ok()) WDL_LOG(Error) << "submit failed: " << st;
+      ++report.envelopes_sent;
+    }
+  }
+  return report;
+}
+
+bool System::IsQuiescent() const {
+  if (network_.HasInFlight()) return false;
+  for (const auto& [name, peer] : peers_) {
+    if (peer->HasPendingWork()) return false;
+  }
+  return true;
+}
+
+void System::SyncWrappers() {
+  for (auto& wrapper : wrappers_) {
+    Peer* peer = GetPeer(wrapper->peer_name());
+    if (peer == nullptr) continue;
+    Status st = wrapper->Sync(peer);
+    if (!st.ok()) {
+      WDL_LOG(Error) << "wrapper sync failed for " << wrapper->peer_name()
+                     << ": " << st;
+    }
+  }
+}
+
+Result<int> System::RunUntilQuiescent(int max_rounds) {
+  for (int i = 0; i < max_rounds; ++i) {
+    if (IsQuiescent()) {
+      // The engines are done, but the last stage may have materialized
+      // tuples a wrapper still has to drain to its external service —
+      // and that drain may in turn create engine work.
+      SyncWrappers();
+      if (IsQuiescent()) return rounds_run_;
+    }
+    RunRound();
+  }
+  if (IsQuiescent()) return rounds_run_;
+  return Status::FailedPrecondition(
+      "system did not quiesce within " + std::to_string(max_rounds) +
+      " rounds");
+}
+
+}  // namespace wdl

@@ -1,0 +1,83 @@
+#ifndef WDL_RUNTIME_SYSTEM_H_
+#define WDL_RUNTIME_SYSTEM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "net/network.h"
+#include "runtime/peer.h"
+#include "runtime/wrapper.h"
+
+namespace wdl {
+
+struct SystemOptions {
+  uint64_t network_seed = 42;
+  LinkConfig default_link;
+};
+
+/// Counters for one RunRound call.
+struct RoundReport {
+  int round = 0;
+  size_t envelopes_delivered = 0;
+  size_t stages_run = 0;
+  size_t envelopes_sent = 0;
+};
+
+/// The multi-peer coordinator: owns the simulated network and the
+/// peers, and advances global time in rounds. One round =
+///   deliver due messages -> sync wrappers -> run a stage at every
+///   peer with pending work -> submit their outbound envelopes.
+///
+/// Peers whose engines have nothing to do are skipped, so a converged
+/// system does no work — quiescence is "no peer has pending work and
+/// nothing is in flight".
+class System {
+ public:
+  explicit System(SystemOptions options = {});
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Creates and registers a peer. Every peer learns of every other
+  /// through the registry (discovery control plane).
+  Peer* CreatePeer(const std::string& name, PeerOptions options = {});
+  Peer* GetPeer(const std::string& name);
+  const Peer* GetPeer(const std::string& name) const;
+  std::vector<std::string> PeerNames() const;
+
+  SimulatedNetwork& network() { return network_; }
+  const SimulatedNetwork& network() const { return network_; }
+
+  /// Attaches a wrapper to its peer (calls Setup immediately; Sync runs
+  /// each round before the stages).
+  Status AttachWrapper(std::unique_ptr<Wrapper> wrapper);
+
+  /// Advances time by one round and runs it.
+  RoundReport RunRound();
+
+  /// Runs rounds until the system is quiescent; returns the number of
+  /// rounds it took, or FailedPrecondition after `max_rounds`.
+  Result<int> RunUntilQuiescent(int max_rounds = 1000);
+
+  bool IsQuiescent() const;
+
+  double now() const { return now_; }
+  int rounds_run() const { return rounds_run_; }
+
+ private:
+  void SyncWrappers();
+
+  SystemOptions options_;
+  SimulatedNetwork network_;
+  std::map<std::string, std::unique_ptr<Peer>> peers_;
+  std::vector<std::unique_ptr<Wrapper>> wrappers_;
+  double now_ = 0.0;
+  int rounds_run_ = 0;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_RUNTIME_SYSTEM_H_

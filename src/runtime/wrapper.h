@@ -1,0 +1,34 @@
+#ifndef WDL_RUNTIME_WRAPPER_H_
+#define WDL_RUNTIME_WRAPPER_H_
+
+#include <string>
+
+#include "base/status.h"
+
+namespace wdl {
+
+class Peer;
+
+/// Adapter between a peer and an external system (§2 "Wrappers"): it
+/// "exports to WebdamLog one or more relations corresponding to the
+/// data in X, as well as rules to access/update this data".
+///
+/// Setup() runs once when the wrapper is attached (declare relations,
+/// install access rules); Sync() runs every system round and moves data
+/// both ways: external changes become fact updates, and tuples that
+/// rules derived into the exported relations become external actions
+/// (posts, emails, ...).
+class Wrapper {
+ public:
+  virtual ~Wrapper() = default;
+
+  /// The peer this wrapper is bound to.
+  virtual const std::string& peer_name() const = 0;
+
+  virtual Status Setup(Peer* peer) = 0;
+  virtual Status Sync(Peer* peer) = 0;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_RUNTIME_WRAPPER_H_

@@ -1,0 +1,106 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace wdl {
+
+Status Relation::CheckTuple(const Tuple& tuple) const {
+  if (tuple.size() != decl_.arity()) {
+    return Status::OutOfRange(StrFormat(
+        "tuple %s has arity %zu; relation %s expects %zu",
+        TupleToString(tuple).c_str(), tuple.size(),
+        decl_.PredicateId().c_str(), decl_.arity()));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    ValueKind want = decl_.columns[i].type;
+    if (want != ValueKind::kAny && tuple[i].kind() != want) {
+      return Status::InvalidArgument(StrFormat(
+          "tuple %s: column %zu (%s) of %s expects %s but got %s",
+          TupleToString(tuple).c_str(), i, decl_.columns[i].name.c_str(),
+          decl_.PredicateId().c_str(), ValueKindToString(want),
+          ValueKindToString(tuple[i].kind())));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> Relation::Insert(Tuple tuple) {
+  WDL_RETURN_IF_ERROR(CheckTuple(tuple));
+  auto [it, inserted] = tuples_.insert(std::move(tuple));
+  if (inserted && !indexes_.empty()) IndexInsert(&*it);
+  return inserted;
+}
+
+Result<bool> Relation::Remove(const Tuple& tuple) {
+  WDL_RETURN_IF_ERROR(CheckTuple(tuple));
+  auto it = tuples_.find(tuple);
+  if (it == tuples_.end()) return false;
+  if (!indexes_.empty()) IndexRemove(&*it);
+  tuples_.erase(it);
+  return true;
+}
+
+void Relation::Clear() {
+  tuples_.clear();
+  for (auto& [col, index] : indexes_) index.clear();
+}
+
+void Relation::ForEach(const std::function<void(const Tuple&)>& fn) const {
+  for (const Tuple& t : tuples_) fn(t);
+}
+
+void Relation::LookupEqual(size_t column, const Value& value,
+                           const std::function<void(const Tuple&)>& fn) {
+  if (column >= decl_.arity()) return;
+  auto it = indexes_.find(column);
+  if (it == indexes_.end()) {
+    // Build the index on first use.
+    auto& index = indexes_[column];
+    for (const Tuple& t : tuples_) {
+      index.emplace(t[column].Hash(), &t);
+    }
+    it = indexes_.find(column);
+  }
+  auto [begin, end] = it->second.equal_range(value.Hash());
+  for (auto entry = begin; entry != end; ++entry) {
+    const Tuple& t = *entry->second;
+    // Hash collisions are possible; confirm equality.
+    if (t[column] == value) fn(t);
+  }
+}
+
+void Relation::ScanEqual(size_t column, const Value& value,
+                         const std::function<void(const Tuple&)>& fn) const {
+  if (column >= decl_.arity()) return;
+  for (const Tuple& t : tuples_) {
+    if (t[column] == value) fn(t);
+  }
+}
+
+std::vector<Tuple> Relation::SortedTuples() const {
+  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Relation::IndexInsert(const Tuple* stored) {
+  for (auto& [col, index] : indexes_) {
+    index.emplace((*stored)[col].Hash(), stored);
+  }
+}
+
+void Relation::IndexRemove(const Tuple* stored) {
+  for (auto& [col, index] : indexes_) {
+    auto [begin, end] = index.equal_range((*stored)[col].Hash());
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == stored) {
+        index.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace wdl

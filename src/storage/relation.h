@@ -1,0 +1,89 @@
+#ifndef WDL_STORAGE_RELATION_H_
+#define WDL_STORAGE_RELATION_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ast/program.h"
+#include "base/result.h"
+#include "storage/tuple.h"
+
+namespace wdl {
+
+/// An in-memory stored relation: a set of tuples with a fixed schema and
+/// lazily built per-column hash indexes. The container is node-based
+/// (unordered_set), so pointers to resident tuples stay valid until that
+/// tuple is erased — indexes store such pointers.
+///
+/// Not thread-safe: a Relation belongs to exactly one Peer, and peers
+/// are share-nothing (see DESIGN.md).
+class Relation {
+ public:
+  explicit Relation(RelationDecl decl) : decl_(std::move(decl)) {}
+
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  const RelationDecl& decl() const { return decl_; }
+  const std::string& name() const { return decl_.relation; }
+  const std::string& peer() const { return decl_.peer; }
+  RelationKind kind() const { return decl_.kind; }
+  size_t arity() const { return decl_.arity(); }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple after checking arity and column types.
+  /// Returns true when the tuple was new, false when already present.
+  Result<bool> Insert(Tuple tuple);
+
+  /// Removes a tuple; returns true when it was present.
+  Result<bool> Remove(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return tuples_.count(tuple) > 0;
+  }
+
+  /// Drops all tuples (used for intensional relations at stage start).
+  void Clear();
+
+  /// Invokes `fn` on every resident tuple, in unspecified order.
+  void ForEach(const std::function<void(const Tuple&)>& fn) const;
+
+  /// Invokes `fn` on tuples whose `column`-th value equals `value`,
+  /// using (and if needed building) a hash index on that column.
+  void LookupEqual(size_t column, const Value& value,
+                   const std::function<void(const Tuple&)>& fn);
+
+  /// Index-free variant of LookupEqual, for benchmarking the index
+  /// ablation (bench_join): always scans.
+  void ScanEqual(size_t column, const Value& value,
+                 const std::function<void(const Tuple&)>& fn) const;
+
+  /// Snapshot of the contents sorted into canonical order; used by
+  /// tests, examples, and the textual "UI frames".
+  std::vector<Tuple> SortedTuples() const;
+
+  /// Validates a tuple against the schema without inserting.
+  Status CheckTuple(const Tuple& tuple) const;
+
+  /// True when a hash index exists on `column` (observability for tests).
+  bool HasIndex(size_t column) const { return indexes_.count(column) > 0; }
+
+ private:
+  void IndexInsert(const Tuple* stored);
+  void IndexRemove(const Tuple* stored);
+
+  RelationDecl decl_;
+  std::unordered_set<Tuple, TupleHasher> tuples_;
+  // column -> (value hash -> tuples with that value in that column).
+  std::map<size_t,
+           std::unordered_multimap<uint64_t, const Tuple*>> indexes_;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_STORAGE_RELATION_H_

@@ -1,0 +1,15 @@
+#include "storage/tuple.h"
+
+namespace wdl {
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace wdl

@@ -1,0 +1,29 @@
+#ifndef WDL_STORAGE_TUPLE_H_
+#define WDL_STORAGE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/value.h"
+#include "base/hash.h"
+
+namespace wdl {
+
+/// A stored row: the argument vector of a fact, without its location
+/// (the relation it lives in supplies relation and peer names).
+using Tuple = std::vector<Value>;
+
+struct TupleHasher {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 0x100001b3;
+    for (const Value& v : t) h = HashCombine(h, v.Hash());
+    return static_cast<size_t>(h);
+  }
+};
+
+/// "(v1, v2, ...)" — used in diagnostics and snapshot printing.
+std::string TupleToString(const Tuple& t);
+
+}  // namespace wdl
+
+#endif  // WDL_STORAGE_TUPLE_H_

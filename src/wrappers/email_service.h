@@ -1,0 +1,43 @@
+#ifndef WDL_WRAPPERS_EMAIL_SERVICE_H_
+#define WDL_WRAPPERS_EMAIL_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wdl {
+
+/// In-memory stand-in for the email transport the paper's email wrapper
+/// used to deliver pictures: a per-address inbox with append-only
+/// delivery. Like FacebookService, it knows nothing about WebdamLog.
+class EmailService {
+ public:
+  struct Email {
+    std::string to;
+    std::string from;
+    std::string subject;
+    std::string body;
+  };
+
+  void Send(Email email) {
+    inboxes_[email.to].push_back(std::move(email));
+    ++sent_count_;
+  }
+
+  const std::vector<Email>& InboxOf(const std::string& address) const {
+    static const std::vector<Email> kEmpty;
+    auto it = inboxes_.find(address);
+    return it == inboxes_.end() ? kEmpty : it->second;
+  }
+
+  uint64_t sent_count() const { return sent_count_; }
+
+ private:
+  std::map<std::string, std::vector<Email>> inboxes_;
+  uint64_t sent_count_ = 0;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_WRAPPERS_EMAIL_SERVICE_H_

@@ -1,0 +1,49 @@
+#include "wrappers/email_wrapper.h"
+
+namespace wdl {
+
+EmailWrapper::EmailWrapper(std::string peer_name, EmailService* service,
+                           std::string address)
+    : peer_name_(std::move(peer_name)),
+      service_(service),
+      address_(std::move(address)) {}
+
+Status EmailWrapper::Setup(Peer* peer) {
+  RelationDecl d;
+  d.relation = "email";
+  d.peer = peer_name_;
+  d.kind = RelationKind::kExtensional;
+  // Generic payload columns: the Wepic transfer rule sends
+  // (attendee, name, id, owner); other applications may send anything
+  // of the same arity.
+  d.columns = {{"to", ValueKind::kAny},
+               {"subject", ValueKind::kAny},
+               {"ref", ValueKind::kAny},
+               {"sender", ValueKind::kAny}};
+  return peer->engine().DeclareRelation(d);
+}
+
+Status EmailWrapper::Sync(Peer* peer) {
+  Relation* email = peer->engine().catalog().Get("email");
+  if (email == nullptr) {
+    return Status::Internal("email relation missing");
+  }
+  std::vector<const Tuple*> fresh;
+  email->ForEach([&](const Tuple& t) {
+    if (!delivered_.count(t)) fresh.push_back(&t);
+  });
+  for (const Tuple* t : fresh) {
+    EmailService::Email mail;
+    mail.to = address_;
+    mail.from = "wepic@" + peer_name_;
+    mail.subject = (*t)[1].is_string() ? (*t)[1].AsString()
+                                       : (*t)[1].ToString();
+    mail.body = TupleToString(*t);
+    service_->Send(std::move(mail));
+    delivered_.insert(*t);
+    ++emails_sent_;
+  }
+  return Status::OK();
+}
+
+}  // namespace wdl

@@ -1,0 +1,44 @@
+#ifndef WDL_WRAPPERS_EMAIL_WRAPPER_H_
+#define WDL_WRAPPERS_EMAIL_WRAPPER_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "runtime/peer.h"
+#include "runtime/wrapper.h"
+#include "storage/tuple.h"
+#include "wrappers/email_service.h"
+
+namespace wdl {
+
+/// Email wrapper: watches the extensional relation `email@<peer>` and
+/// turns every new tuple into an actual delivery through EmailService.
+///
+/// This implements the Wepic transfer path where an attendee's
+/// `communicate` preference is "email": the rule
+///   $protocol@$attendee($attendee, $name, $id, $owner) :- ...
+/// materializes facts in email@<attendee>, and this wrapper drains them
+/// to the attendee's inbox. Tuples are delivered exactly once (the
+/// relation keeps them; the wrapper remembers what it already sent).
+class EmailWrapper : public Wrapper {
+ public:
+  EmailWrapper(std::string peer_name, EmailService* service,
+               std::string address);
+
+  const std::string& peer_name() const override { return peer_name_; }
+  Status Setup(Peer* peer) override;
+  Status Sync(Peer* peer) override;
+
+  uint64_t emails_sent() const { return emails_sent_; }
+
+ private:
+  std::string peer_name_;
+  EmailService* service_;
+  std::string address_;
+  std::unordered_set<Tuple, TupleHasher> delivered_;
+  uint64_t emails_sent_ = 0;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_WRAPPERS_EMAIL_WRAPPER_H_

@@ -1,0 +1,123 @@
+#include "wrappers/facebook_service.h"
+
+namespace wdl {
+
+void FacebookService::AddUser(const std::string& user) {
+  if (users_.insert(user).second) ++version_;
+}
+
+bool FacebookService::HasUser(const std::string& user) const {
+  return users_.count(user) > 0;
+}
+
+void FacebookService::AddFriendship(const std::string& a,
+                                    const std::string& b) {
+  AddUser(a);
+  AddUser(b);
+  bool changed = friends_[a].insert(b).second;
+  changed |= friends_[b].insert(a).second;
+  if (changed) ++version_;
+}
+
+std::vector<std::string> FacebookService::FriendsOf(
+    const std::string& user) const {
+  auto it = friends_.find(user);
+  if (it == friends_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+void FacebookService::CreateGroup(const std::string& group) {
+  if (group_members_.emplace(group, std::set<std::string>()).second) {
+    ++version_;
+  }
+}
+
+bool FacebookService::HasGroup(const std::string& group) const {
+  return group_members_.count(group) > 0;
+}
+
+Status FacebookService::JoinGroup(const std::string& group,
+                                  const std::string& user) {
+  auto it = group_members_.find(group);
+  if (it == group_members_.end()) {
+    return Status::NotFound("no Facebook group named " + group);
+  }
+  AddUser(user);
+  if (it->second.insert(user).second) ++version_;
+  return Status::OK();
+}
+
+std::vector<std::string> FacebookService::GroupMembers(
+    const std::string& group) const {
+  auto it = group_members_.find(group);
+  if (it == group_members_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+Status FacebookService::PostPicture(const std::string& group,
+                                    const Picture& picture) {
+  auto it = group_members_.find(group);
+  if (it == group_members_.end()) {
+    return Status::NotFound("no Facebook group named " + group);
+  }
+  if (!it->second.count(picture.owner)) {
+    return Status::PermissionDenied("user " + picture.owner +
+                                    " is not a member of group " + group);
+  }
+  auto [pos, inserted] =
+      group_pictures_[group].emplace(picture.id, picture);
+  (void)pos;
+  if (inserted) ++version_;
+  return Status::OK();
+}
+
+std::vector<FacebookService::Picture> FacebookService::GroupPictures(
+    const std::string& group) const {
+  auto it = group_pictures_.find(group);
+  if (it == group_pictures_.end()) return {};
+  std::vector<Picture> out;
+  out.reserve(it->second.size());
+  for (const auto& [id, pic] : it->second) out.push_back(pic);
+  return out;
+}
+
+bool FacebookService::GroupHasPicture(const std::string& group,
+                                      int64_t picture_id) const {
+  auto it = group_pictures_.find(group);
+  return it != group_pictures_.end() && it->second.count(picture_id) > 0;
+}
+
+void FacebookService::AddUserPicture(const std::string& user,
+                                     const Picture& picture) {
+  AddUser(user);
+  if (user_pictures_[user].emplace(picture.id, picture).second) ++version_;
+}
+
+std::vector<FacebookService::Picture> FacebookService::UserPictures(
+    const std::string& user) const {
+  auto it = user_pictures_.find(user);
+  if (it == user_pictures_.end()) return {};
+  std::vector<Picture> out;
+  out.reserve(it->second.size());
+  for (const auto& [id, pic] : it->second) out.push_back(pic);
+  return out;
+}
+
+Status FacebookService::AddComment(const std::string& group,
+                                   const Comment& comment) {
+  if (!HasGroup(group)) {
+    return Status::NotFound("no Facebook group named " + group);
+  }
+  group_comments_[group].push_back(comment);
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<FacebookService::Comment> FacebookService::GroupComments(
+    const std::string& group) const {
+  auto it = group_comments_.find(group);
+  if (it == group_comments_.end()) return {};
+  return it->second;
+}
+
+}  // namespace wdl

@@ -1,0 +1,83 @@
+#ifndef WDL_WRAPPERS_FACEBOOK_SERVICE_H_
+#define WDL_WRAPPERS_FACEBOOK_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace wdl {
+
+/// An in-memory stand-in for the Facebook backend the paper's wrapper
+/// talked to: users, friendships, groups, group picture walls, and
+/// comments. It is the *external system X* of §2's wrapper definition —
+/// deliberately knowing nothing about WebdamLog. The substitution
+/// argument (DESIGN.md §2) is that the wrapper contract only needs an
+/// external store with reads and writes, which this provides.
+///
+/// A monotone version counter lets wrappers detect changes cheaply.
+class FacebookService {
+ public:
+  struct Picture {
+    int64_t id = 0;
+    std::string name;
+    std::string owner;
+    std::string data;  // binary payload
+
+    bool operator<(const Picture& o) const { return id < o.id; }
+  };
+
+  struct Comment {
+    int64_t picture_id = 0;
+    std::string author;
+    std::string text;
+  };
+
+  FacebookService() = default;
+
+  // --- account management ------------------------------------------
+  void AddUser(const std::string& user);
+  bool HasUser(const std::string& user) const;
+  /// Symmetric friendship; users are created on demand.
+  void AddFriendship(const std::string& a, const std::string& b);
+  std::vector<std::string> FriendsOf(const std::string& user) const;
+
+  // --- groups --------------------------------------------------------
+  void CreateGroup(const std::string& group);
+  bool HasGroup(const std::string& group) const;
+  Status JoinGroup(const std::string& group, const std::string& user);
+  std::vector<std::string> GroupMembers(const std::string& group) const;
+
+  // --- content ---------------------------------------------------------
+  /// Posts a picture on a group wall; owner must be a member.
+  /// Duplicate picture ids on the same wall are ignored (idempotent).
+  Status PostPicture(const std::string& group, const Picture& picture);
+  std::vector<Picture> GroupPictures(const std::string& group) const;
+  bool GroupHasPicture(const std::string& group, int64_t picture_id) const;
+
+  /// Pictures on a user's own profile (used by user-account wrappers).
+  void AddUserPicture(const std::string& user, const Picture& picture);
+  std::vector<Picture> UserPictures(const std::string& user) const;
+
+  Status AddComment(const std::string& group, const Comment& comment);
+  std::vector<Comment> GroupComments(const std::string& group) const;
+
+  /// Bumped on every successful mutation.
+  uint64_t version() const { return version_; }
+
+ private:
+  std::set<std::string> users_;
+  std::map<std::string, std::set<std::string>> friends_;
+  std::map<std::string, std::set<std::string>> group_members_;
+  std::map<std::string, std::map<int64_t, Picture>> group_pictures_;
+  std::map<std::string, std::vector<Comment>> group_comments_;
+  std::map<std::string, std::map<int64_t, Picture>> user_pictures_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_WRAPPERS_FACEBOOK_SERVICE_H_

@@ -1,0 +1,146 @@
+#include "wrappers/facebook_wrapper.h"
+
+#include "base/logging.h"
+
+namespace wdl {
+
+namespace {
+
+RelationDecl MakeDecl(const std::string& relation, const std::string& peer,
+                      std::vector<ColumnSpec> columns) {
+  RelationDecl d;
+  d.relation = relation;
+  d.peer = peer;
+  d.kind = RelationKind::kExtensional;
+  d.columns = std::move(columns);
+  return d;
+}
+
+}  // namespace
+
+FacebookGroupWrapper::FacebookGroupWrapper(std::string peer_name,
+                                           FacebookService* service,
+                                           std::string group)
+    : peer_name_(std::move(peer_name)),
+      service_(service),
+      group_(std::move(group)) {}
+
+Status FacebookGroupWrapper::Setup(Peer* peer) {
+  WDL_RETURN_IF_ERROR(peer->engine().DeclareRelation(
+      MakeDecl("pictures", peer_name_,
+               {{"id", ValueKind::kInt},
+                {"name", ValueKind::kString},
+                {"owner", ValueKind::kString},
+                {"data", ValueKind::kBlob}})));
+  WDL_RETURN_IF_ERROR(peer->engine().DeclareRelation(
+      MakeDecl("comments", peer_name_,
+               {{"picId", ValueKind::kInt},
+                {"author", ValueKind::kString},
+                {"text", ValueKind::kString}})));
+  return Status::OK();
+}
+
+Status FacebookGroupWrapper::Sync(Peer* peer) {
+  Relation* pictures = peer->engine().catalog().Get("pictures");
+  Relation* comments = peer->engine().catalog().Get("comments");
+  if (pictures == nullptr || comments == nullptr) {
+    return Status::Internal("FacebookGroupWrapper relations missing");
+  }
+
+  // Outbound first: tuples rules derived into pictures@<peer> that the
+  // wall does not have yet are posted to the service.
+  std::vector<Tuple> to_post;
+  pictures->ForEach([&](const Tuple& t) {
+    if (t.size() == 4 && t[0].is_int() &&
+        !service_->GroupHasPicture(group_, t[0].AsInt())) {
+      to_post.push_back(t);
+    }
+  });
+  for (const Tuple& t : to_post) {
+    FacebookService::Picture pic;
+    pic.id = t[0].AsInt();
+    pic.name = t[1].is_string() ? t[1].AsString() : t[1].ToString();
+    pic.owner = t[2].is_string() ? t[2].AsString() : t[2].ToString();
+    pic.data = t[3].is_blob() ? t[3].AsBlob().bytes : t[3].ToString();
+    Status st = service_->PostPicture(group_, pic);
+    if (st.ok()) {
+      ++pictures_posted_;
+    } else {
+      ++rejected_posts_;
+      WDL_LOG(Warning) << "Facebook rejected post of picture " << pic.id
+                       << ": " << st;
+      // Remove the tuple so the rejection is visible in the relation
+      // too (the wall is the source of truth for this peer).
+      Result<bool> removed = pictures->Remove(t);
+      (void)removed;
+    }
+  }
+
+  // Inbound: changes on the wall become local fact insertions.
+  if (service_->version() == last_seen_version_) return Status::OK();
+  last_seen_version_ = service_->version();
+
+  for (const FacebookService::Picture& pic :
+       service_->GroupPictures(group_)) {
+    Tuple t{Value::Int(pic.id), Value::String(pic.name),
+            Value::String(pic.owner), Value::MakeBlob(pic.data)};
+    if (!pictures->Contains(t)) {
+      Fact f("pictures", peer_name_, std::move(t));
+      Result<bool> r = peer->engine().InsertFact(f);
+      if (r.ok() && *r) ++pictures_imported_;
+    }
+  }
+  for (const FacebookService::Comment& c :
+       service_->GroupComments(group_)) {
+    Tuple t{Value::Int(c.picture_id), Value::String(c.author),
+            Value::String(c.text)};
+    if (!comments->Contains(t)) {
+      Fact f("comments", peer_name_, std::move(t));
+      Result<bool> r = peer->engine().InsertFact(f);
+      (void)r;
+    }
+  }
+  return Status::OK();
+}
+
+FacebookUserWrapper::FacebookUserWrapper(std::string peer_name,
+                                         FacebookService* service,
+                                         std::string user)
+    : peer_name_(std::move(peer_name)),
+      service_(service),
+      user_(std::move(user)) {}
+
+Status FacebookUserWrapper::Setup(Peer* peer) {
+  WDL_RETURN_IF_ERROR(peer->engine().DeclareRelation(
+      MakeDecl("friends", peer_name_,
+               {{"userID", ValueKind::kString},
+                {"friendName", ValueKind::kString}})));
+  WDL_RETURN_IF_ERROR(peer->engine().DeclareRelation(
+      MakeDecl("pictures", peer_name_,
+               {{"picID", ValueKind::kInt},
+                {"owner", ValueKind::kString},
+                {"url", ValueKind::kString}})));
+  return Status::OK();
+}
+
+Status FacebookUserWrapper::Sync(Peer* peer) {
+  if (service_->version() == last_seen_version_) return Status::OK();
+  last_seen_version_ = service_->version();
+
+  for (const std::string& friend_name : service_->FriendsOf(user_)) {
+    Fact f("friends", peer_name_,
+           {Value::String(user_), Value::String(friend_name)});
+    Result<bool> r = peer->engine().InsertFact(f);
+    (void)r;
+  }
+  for (const FacebookService::Picture& pic : service_->UserPictures(user_)) {
+    Fact f("pictures", peer_name_,
+           {Value::Int(pic.id), Value::String(pic.owner),
+            Value::String("fb://" + user_ + "/" + pic.name)});
+    Result<bool> r = peer->engine().InsertFact(f);
+    (void)r;
+  }
+  return Status::OK();
+}
+
+}  // namespace wdl

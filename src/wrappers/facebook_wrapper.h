@@ -1,0 +1,74 @@
+#ifndef WDL_WRAPPERS_FACEBOOK_WRAPPER_H_
+#define WDL_WRAPPERS_FACEBOOK_WRAPPER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/peer.h"
+#include "runtime/wrapper.h"
+#include "wrappers/facebook_service.h"
+
+namespace wdl {
+
+/// Wrapper for a Facebook *group* wall, bound to a peer such as
+/// SigmodFB. Exports (all extensional):
+///
+///   pictures@<peer>(id: int, name: string, owner: string, data: blob)
+///   comments@<peer>(picId: int, author: string, text: string)
+///
+/// Sync is bidirectional:
+///  - inbound: pictures/comments that appeared on the group wall become
+///    fact insertions ("the sigmod peer will automatically retrieve the
+///    pictures with their comments ... from the Facebook group");
+///  - outbound: tuples that WebdamLog rules derived into pictures@<peer>
+///    are posted to the wall ("a photo ... is instantly published to
+///    pictures@sigmod, and then propagated to pictures@SigmodFB").
+///    Posts by non-members are rejected by the service and reported in
+///    rejected_posts().
+class FacebookGroupWrapper : public Wrapper {
+ public:
+  FacebookGroupWrapper(std::string peer_name, FacebookService* service,
+                       std::string group);
+
+  const std::string& peer_name() const override { return peer_name_; }
+  Status Setup(Peer* peer) override;
+  Status Sync(Peer* peer) override;
+
+  uint64_t pictures_imported() const { return pictures_imported_; }
+  uint64_t pictures_posted() const { return pictures_posted_; }
+  uint64_t rejected_posts() const { return rejected_posts_; }
+
+ private:
+  std::string peer_name_;
+  FacebookService* service_;
+  std::string group_;
+  uint64_t last_seen_version_ = ~uint64_t{0};  // force first sync
+  uint64_t pictures_imported_ = 0;
+  uint64_t pictures_posted_ = 0;
+  uint64_t rejected_posts_ = 0;
+};
+
+/// Wrapper for a Facebook *user account*, bound to a peer such as
+/// ÉmilienFB. Exports read-only views of the account (§2):
+///
+///   friends@<peer>(userID: string, friendName: string)
+///   pictures@<peer>(picID: int, owner: string, url: string)
+class FacebookUserWrapper : public Wrapper {
+ public:
+  FacebookUserWrapper(std::string peer_name, FacebookService* service,
+                      std::string user);
+
+  const std::string& peer_name() const override { return peer_name_; }
+  Status Setup(Peer* peer) override;
+  Status Sync(Peer* peer) override;
+
+ private:
+  std::string peer_name_;
+  FacebookService* service_;
+  std::string user_;
+  uint64_t last_seen_version_ = ~uint64_t{0};
+};
+
+}  // namespace wdl
+
+#endif  // WDL_WRAPPERS_FACEBOOK_WRAPPER_H_

@@ -1,0 +1,181 @@
+#include "analysis/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace wdl {
+namespace {
+
+Rule R(const std::string& text) {
+  Result<Rule> r = ParseRule(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? std::move(r).value() : Rule{};
+}
+
+TEST(SafetyTest, AcceptsSimpleSafeRule) {
+  EXPECT_TRUE(CheckRuleSafety(R("h@p($x) :- b@p($x)")).ok());
+}
+
+TEST(SafetyTest, AcceptsPaperSelectionRule) {
+  EXPECT_TRUE(CheckRuleSafety(R(
+      "attendeePictures@Jules($id, $n, $o, $d) :- "
+      "selectedAttendee@Jules($a), pictures@$a($id, $n, $o, $d)")).ok());
+}
+
+TEST(SafetyTest, RejectsUnboundHeadVariable) {
+  Status s = CheckRuleSafety(R("h@p($x, $y) :- b@p($x)"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("$y"), std::string::npos);
+}
+
+TEST(SafetyTest, RejectsPeerVariableNotBoundByPreviousAtoms) {
+  // $a appears first in the *same* atom's peer position: too late —
+  // the engine would not know where to evaluate it.
+  Status s = CheckRuleSafety(R("h@p($x) :- pictures@$a($x, $a)"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("left to right"), std::string::npos);
+}
+
+TEST(SafetyTest, OrderMattersLeftToRight) {
+  // Same atoms, two orders: only one is well-formed. This is the
+  // paper's "the order matters, unlike in datalog".
+  EXPECT_TRUE(CheckRuleSafety(R(
+      "h@p($x) :- sel@p($a), pictures@$a($x)")).ok());
+  EXPECT_FALSE(CheckRuleSafety(R(
+      "h@p($x) :- pictures@$a($x), sel@p($a)")).ok());
+}
+
+TEST(SafetyTest, RelationVariableMustBeBoundBeforeUse) {
+  EXPECT_TRUE(CheckRuleSafety(R(
+      "h@p($x) :- protos@p($r), $r@p($x)")).ok());
+  EXPECT_FALSE(CheckRuleSafety(R("h@p($x) :- $r@p($x), protos@p($r)")).ok());
+}
+
+TEST(SafetyTest, NegatedAtomVariablesMustBeBound) {
+  EXPECT_TRUE(CheckRuleSafety(R(
+      "h@p($x) :- b@p($x), not c@p($x)")).ok());
+  EXPECT_FALSE(CheckRuleSafety(R(
+      "h@p($x) :- b@p($x), not c@p($y)")).ok());
+}
+
+TEST(SafetyTest, NegatedAtomsBindNothing) {
+  EXPECT_FALSE(CheckRuleSafety(R(
+      "h@p($y) :- b@p($x), not c@p($x, $y)")).ok());
+}
+
+TEST(SafetyTest, GroundBodylessRuleIsFine) {
+  Rule fact_rule;
+  Result<Atom> head = ParseAtom(R"(greet@p("hi"))");
+  ASSERT_TRUE(head.ok());
+  fact_rule.head = *head;
+  EXPECT_TRUE(CheckRuleSafety(fact_rule).ok());
+}
+
+TEST(StratifyTest, PositiveProgramIsOneStratum) {
+  std::vector<Rule> rules = {R("t@p($x,$y) :- e@p($x,$y)"),
+                             R("t@p($x,$z) :- t@p($x,$y), e@p($y,$z)")};
+  Result<Stratification> s = Stratify(rules);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata, 1);
+}
+
+TEST(StratifyTest, NegationAddsStratum) {
+  std::vector<Rule> rules = {
+      R("reach@p($x) :- edge@p($x)"),
+      R("unreach@p($x) :- node@p($x), not reach@p($x)")};
+  Result<Stratification> s = Stratify(rules);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata, 2);
+  EXPECT_EQ(s->rule_stratum[0], 0);
+  EXPECT_EQ(s->rule_stratum[1], 1);
+}
+
+TEST(StratifyTest, NegationThroughRecursionIsRejected) {
+  std::vector<Rule> rules = {R("a@p($x) :- b@p($x), not a@p($x)")};
+  EXPECT_FALSE(Stratify(rules).ok());
+}
+
+TEST(StratifyTest, MutualRecursionWithNegationIsRejected) {
+  std::vector<Rule> rules = {R("a@p($x) :- s@p($x), not b@p($x)"),
+                             R("b@p($x) :- s@p($x), not a@p($x)")};
+  EXPECT_FALSE(Stratify(rules).ok());
+}
+
+TEST(StratifyTest, NegatedVariableLocationUsesWildcard) {
+  // The negated atom's peer resolves at evaluation time; statically it
+  // depends on the wildcard and stratifies above it.
+  std::vector<Rule> rules = {
+      R("h@p($x) :- sel@p($a), not pictures@$a($x, $x)")};
+  Result<Stratification> s = Stratify(rules);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata, 2);
+}
+
+TEST(StratifyTest, WildcardCycleWithNegationIsRejected) {
+  // A variable-headed rule defines "*"; negating through "*" inside
+  // the cycle must still be caught.
+  std::vector<Rule> rules = {
+      R("$r@p($x) :- names@p($r), src@p($x), not out@p($x)"),
+      R("out@p($x) :- names@p($q), $q@p($x)")};
+  EXPECT_FALSE(Stratify(rules).ok());
+}
+
+TEST(StratifyTest, ThreeLevelChain) {
+  std::vector<Rule> rules = {
+      R("a@p($x) :- base@p($x)"),
+      R("b@p($x) :- node@p($x), not a@p($x)"),
+      R("c@p($x) :- node@p($x), not b@p($x)")};
+  Result<Stratification> s = Stratify(rules);
+  ASSERT_TRUE(s.ok()) << s.status();
+  EXPECT_EQ(s->num_strata, 3);
+}
+
+TEST(ValidateTest, Paper2013DialectRejectsNegation) {
+  Result<Program> p = ParseProgram(
+      "rule h@p($x) :- b@p($x), not c@p($x);");
+  ASSERT_TRUE(p.ok());
+  Status s2013 = ValidateProgram(*p, Dialect::kPaper2013);
+  EXPECT_EQ(s2013.code(), StatusCode::kUnimplemented);
+  EXPECT_TRUE(ValidateProgram(*p, Dialect::kExtended).ok());
+}
+
+TEST(ValidateTest, DuplicateDeclarationRejected) {
+  Result<Program> p = ParseProgram(
+      "collection ext r@p(x);\ncollection ext r@p(x, y);");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(ValidateProgram(*p, Dialect::kExtended).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ValidateTest, FactArityCheckedAgainstDeclaration) {
+  Result<Program> p = ParseProgram(
+      "collection ext r@p(x: int, y: int);\nfact r@p(1);");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(ValidateProgram(*p, Dialect::kExtended).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ValidateTest, FactTypeCheckedAgainstDeclaration) {
+  Result<Program> p = ParseProgram(
+      "collection ext r@p(x: int);\nfact r@p(\"not an int\");");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(ValidateProgram(*p, Dialect::kExtended).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateTest, UndeclaredFactIsAllowed) {
+  Result<Program> p = ParseProgram("fact fresh@p(1, 2);");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(ValidateProgram(*p, Dialect::kExtended).ok());
+}
+
+TEST(ValueTypeTest, AnyAcceptsEverything) {
+  EXPECT_TRUE(ValueMatchesType(Value::Int(1), ValueKind::kAny));
+  EXPECT_TRUE(ValueMatchesType(Value::String("s"), ValueKind::kAny));
+  EXPECT_TRUE(ValueMatchesType(Value::Int(1), ValueKind::kInt));
+  EXPECT_FALSE(ValueMatchesType(Value::Int(1), ValueKind::kString));
+}
+
+}  // namespace
+}  // namespace wdl

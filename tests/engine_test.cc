@@ -1,0 +1,367 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace wdl {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value S(const std::string& v) { return Value::String(v); }
+
+Program P(const std::string& text) {
+  Result<Program> p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return p.ok() ? std::move(p).value() : Program{};
+}
+
+Rule R(const std::string& text) {
+  Result<Rule> r = ParseRule(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? std::move(r).value() : Rule{};
+}
+
+// Runs local stages until the engine settles (no network in these
+// tests, so only deferred self-updates keep it going).
+void Settle(Engine* e, int max_stages = 50) {
+  for (int i = 0; i < max_stages && e->HasPendingWork(); ++i) {
+    e->RunStage();
+  }
+}
+
+TEST(EngineTest, TransitiveClosureLocalFixpoint) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext edge@p(x: int, y: int);
+    collection int tc@p(x: int, y: int);
+    fact edge@p(1, 2); fact edge@p(2, 3); fact edge@p(3, 4);
+    rule tc@p($x, $y) :- edge@p($x, $y);
+    rule tc@p($x, $z) :- tc@p($x, $y), edge@p($y, $z);
+  )")).ok());
+  Settle(&e);
+  EXPECT_EQ(e.catalog().Get("tc")->size(), 6u);  // all pairs i<j
+  EXPECT_TRUE(e.catalog().Get("tc")->Contains({I(1), I(4)}));
+}
+
+TEST(EngineTest, NaiveAndSemiNaiveAgreeOnChain) {
+  auto run = [](EvalMode mode) {
+    EngineOptions opts;
+    opts.mode = mode;
+    Engine e("p", opts);
+    std::string program =
+        "collection ext edge@p(x: int, y: int);\n"
+        "collection int tc@p(x: int, y: int);\n"
+        "rule tc@p($x, $y) :- edge@p($x, $y);\n"
+        "rule tc@p($x, $z) :- tc@p($x, $y), edge@p($y, $z);\n";
+    EXPECT_TRUE(e.LoadProgram(P(program)).ok());
+    for (int64_t i = 0; i < 30; ++i) {
+      EXPECT_TRUE(e.InsertFact(Fact("edge", "p", {I(i), I(i + 1)})).ok());
+    }
+    Settle(&e);
+    return e.catalog().Get("tc")->SortedTuples();
+  };
+  std::vector<Tuple> semi = run(EvalMode::kSemiNaive);
+  std::vector<Tuple> naive = run(EvalMode::kNaive);
+  EXPECT_EQ(semi.size(), 30u * 31u / 2u);
+  EXPECT_EQ(semi, naive);
+}
+
+TEST(EngineTest, SemiNaiveDoesLessWorkThanNaive) {
+  auto work = [](EvalMode mode) {
+    EngineOptions opts;
+    opts.mode = mode;
+    opts.use_indexes = false;  // make examined-tuple counts comparable
+    Engine e("p", opts);
+    EXPECT_TRUE(e.LoadProgram(P(
+        "collection ext edge@p(x: int, y: int);"
+        "collection int tc@p(x: int, y: int);"
+        "rule tc@p($x, $y) :- edge@p($x, $y);"
+        "rule tc@p($x, $z) :- tc@p($x, $y), edge@p($y, $z);")).ok());
+    for (int64_t i = 0; i < 40; ++i) {
+      EXPECT_TRUE(e.InsertFact(Fact("edge", "p", {I(i), I(i + 1)})).ok());
+    }
+    StageResult r = e.RunStage();
+    return r.stats.tuples_examined;
+  };
+  EXPECT_LT(work(EvalMode::kSemiNaive), work(EvalMode::kNaive));
+}
+
+TEST(EngineTest, IntensionalRelationsRecomputeAfterBaseDeletion) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext b@p(x: int);
+    collection int v@p(x: int);
+    fact b@p(1); fact b@p(2);
+    rule v@p($x) :- b@p($x);
+  )")).ok());
+  Settle(&e);
+  EXPECT_EQ(e.catalog().Get("v")->size(), 2u);
+  ASSERT_TRUE(e.RemoveFact(Fact("b", "p", {I(1)})).ok());
+  Settle(&e);
+  EXPECT_EQ(e.catalog().Get("v")->size(), 1u);
+  EXPECT_TRUE(e.catalog().Get("v")->Contains({I(2)}));
+}
+
+TEST(EngineTest, InsertIntoIntensionalRelationRejected) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P("collection int v@p(x: int);")).ok());
+  EXPECT_EQ(e.InsertFact(Fact("v", "p", {I(1)})).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineTest, StratifiedNegationComplement) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext node@p(x: int);
+    collection ext edge@p(x: int, y: int);
+    collection int reach@p(x: int);
+    collection int unreach@p(x: int);
+    fact node@p(1); fact node@p(2); fact node@p(3);
+    fact edge@p(1, 2);
+    rule reach@p(1) :- node@p(1);
+    rule reach@p($y) :- reach@p($x), edge@p($x, $y);
+    rule unreach@p($x) :- node@p($x), not reach@p($x);
+  )")).ok());
+  Settle(&e);
+  EXPECT_EQ(e.catalog().Get("reach")->size(), 2u);
+  ASSERT_EQ(e.catalog().Get("unreach")->size(), 1u);
+  EXPECT_TRUE(e.catalog().Get("unreach")->Contains({I(3)}));
+}
+
+TEST(EngineTest, Paper2013DialectRejectsNegatedRule) {
+  EngineOptions opts;
+  opts.dialect = Dialect::kPaper2013;
+  Engine e("p", opts);
+  Result<uint64_t> r = e.AddRule(R("h@p($x) :- a@p($x), not b@p($x)"));
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(EngineTest, UnsafeRuleRejected) {
+  Engine e("p");
+  EXPECT_FALSE(e.AddRule(R("h@p($x, $y) :- a@p($x)")).ok());
+}
+
+TEST(EngineTest, UnstratifiableDelegatedRuleRejectedAtInstall) {
+  Engine e("p");
+  ASSERT_TRUE(
+      e.AddRule(R("a@p($x) :- s@p($x), not b@p($x)")).ok());
+  Delegation d;
+  d.origin_peer = "q";
+  d.target_peer = "p";
+  d.rule = R("b@p($x) :- s@p($x), not a@p($x)");
+  EXPECT_FALSE(e.InstallDelegatedRule(d).ok());
+}
+
+TEST(EngineTest, RemoveRuleRetractsItsDelegationsNextStage) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext sel@p(a: string);
+    fact sel@p("q");
+  )")).ok());
+  Result<uint64_t> id = e.AddRule(R("h@p($x) :- sel@p($a), data@$a($x)"));
+  ASSERT_TRUE(id.ok());
+  StageResult first = e.RunStage();
+  ASSERT_EQ(first.outbound.count("q"), 1u);
+  ASSERT_EQ(first.outbound["q"].delegation_installs.size(), 1u);
+  uint64_t key = first.outbound["q"].delegation_installs[0].Key();
+
+  ASSERT_TRUE(e.RemoveRule(*id).ok());
+  StageResult second = e.RunStage();
+  ASSERT_EQ(second.outbound.count("q"), 1u);
+  ASSERT_EQ(second.outbound["q"].delegation_retracts.size(), 1u);
+  EXPECT_EQ(second.outbound["q"].delegation_retracts[0], key);
+}
+
+TEST(EngineTest, DelegationInstallIsIdempotent) {
+  Engine e("p");
+  Delegation d;
+  d.origin_peer = "q";
+  d.target_peer = "p";
+  d.rule = R("h@q($x) :- data@p($x)");
+  ASSERT_TRUE(e.InstallDelegatedRule(d).ok());
+  ASSERT_TRUE(e.InstallDelegatedRule(d).ok());
+  EXPECT_EQ(e.rules().size(), 1u);
+}
+
+TEST(EngineTest, DelegationForWrongTargetRejected) {
+  Engine e("p");
+  Delegation d;
+  d.origin_peer = "q";
+  d.target_peer = "r";  // not us
+  d.rule = R("h@q($x) :- data@r($x)");
+  EXPECT_FALSE(e.InstallDelegatedRule(d).ok());
+}
+
+TEST(EngineTest, DerivedSetToExtensionalIsPersistentUnion) {
+  Engine e("p");
+  ASSERT_TRUE(
+      e.LoadProgram(P("collection ext inbox@p(x: int);")).ok());
+  DerivedSet set;
+  set.target_peer = "p";
+  set.relation = "inbox";
+  set.tuples = {Tuple{I(1)}, Tuple{I(2)}};
+  e.EnqueueDerivedSet("q", set);
+  e.RunStage();
+  EXPECT_EQ(e.catalog().Get("inbox")->size(), 2u);
+
+  // A shrunk set later does NOT delete: updates are persistent.
+  set.tuples = {Tuple{I(1)}};
+  e.EnqueueDerivedSet("q", set);
+  e.RunStage();
+  EXPECT_EQ(e.catalog().Get("inbox")->size(), 2u);
+}
+
+TEST(EngineTest, DerivedSetToIntensionalReplacesSenderSlice) {
+  Engine e("p");
+  ASSERT_TRUE(
+      e.LoadProgram(P("collection int view@p(x: int);")).ok());
+  DerivedSet set;
+  set.target_peer = "p";
+  set.relation = "view";
+  set.tuples = {Tuple{I(1)}, Tuple{I(2)}};
+  e.EnqueueDerivedSet("q", set);
+  e.RunStage();
+  EXPECT_EQ(e.catalog().Get("view")->size(), 2u);
+
+  set.tuples = {Tuple{I(3)}};
+  e.EnqueueDerivedSet("q", set);
+  e.RunStage();
+  const Relation* view = e.catalog().Get("view");
+  EXPECT_EQ(view->size(), 1u);
+  EXPECT_TRUE(view->Contains({I(3)}));
+}
+
+TEST(EngineTest, SlicesFromDistinctSendersAreIndependent) {
+  Engine e("p");
+  ASSERT_TRUE(
+      e.LoadProgram(P("collection int view@p(x: int);")).ok());
+  DerivedSet from_q{.target_peer = "p", .relation = "view",
+                    .tuples = {Tuple{I(1)}}};
+  DerivedSet from_r{.target_peer = "p", .relation = "view",
+                    .tuples = {Tuple{I(2)}}};
+  e.EnqueueDerivedSet("q", from_q);
+  e.EnqueueDerivedSet("r", from_r);
+  e.RunStage();
+  EXPECT_EQ(e.catalog().Get("view")->size(), 2u);
+
+  // q empties its slice; r's contribution survives.
+  from_q.tuples.clear();
+  e.EnqueueDerivedSet("q", from_q);
+  e.RunStage();
+  const Relation* view = e.catalog().Get("view");
+  EXPECT_EQ(view->size(), 1u);
+  EXPECT_TRUE(view->Contains({I(2)}));
+}
+
+TEST(EngineTest, UnchangedContributionIsNotResent) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext data@p(x: int);
+    fact data@p(1);
+    rule mirror@q($x) :- data@p($x);
+  )")).ok());
+  StageResult first = e.RunStage();
+  ASSERT_EQ(first.outbound.count("q"), 1u);
+  // Force extra stages: nothing new must be shipped.
+  e.InsertFact(Fact("data", "p", {I(1)})).value();  // duplicate, no-op
+  StageResult second = e.RunStage();
+  EXPECT_EQ(second.outbound.count("q"), 0u);
+}
+
+TEST(EngineTest, EmptiedContributionIsSentOnceAsEmptySet) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext data@p(x: int);
+    collection int view@p(x: int);
+    fact data@p(1);
+    rule view@p($x) :- data@p($x);
+    rule mirror@q($x) :- view@p($x);
+  )")).ok());
+  StageResult first = e.RunStage();
+  ASSERT_EQ(first.outbound.count("q"), 1u);
+
+  ASSERT_TRUE(e.RemoveFact(Fact("data", "p", {I(1)})).ok());
+  StageResult second = e.RunStage();
+  ASSERT_EQ(second.outbound.count("q"), 1u);
+  ASSERT_EQ(second.outbound["q"].derived_sets.size(), 1u);
+  EXPECT_TRUE(second.outbound["q"].derived_sets[0].tuples.empty());
+
+  // And only once: a third stage is silent.
+  StageResult third = e.RunStage();
+  EXPECT_EQ(third.outbound.count("q"), 0u);
+}
+
+TEST(EngineTest, ProgramListingMarksDelegatedRules) {
+  Engine e("p");
+  ASSERT_TRUE(e.AddRule(R("local@p($x) :- base@p($x)")).ok());
+  Delegation d;
+  d.origin_peer = "julia";
+  d.target_peer = "p";
+  d.rule = R("spy@julia($x) :- base@p($x)");
+  ASSERT_TRUE(e.InstallDelegatedRule(d).ok());
+  std::string listing = e.ProgramListing();
+  EXPECT_NE(listing.find("delegated by julia"), std::string::npos);
+}
+
+TEST(EngineTest, StageStatsReportRulesAndDerivations) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext b@p(x: int);
+    collection int v@p(x: int);
+    fact b@p(1); fact b@p(2);
+    rule v@p($x) :- b@p($x);
+  )")).ok());
+  StageResult r = e.RunStage();
+  EXPECT_EQ(r.stats.active_rules, 1u);
+  EXPECT_EQ(r.stats.local_derivations, 2u);
+  EXPECT_GE(r.stats.iterations, 1);
+}
+
+// Differential property: semi-naive and naive must agree on random
+// graphs of various shapes.
+class DifferentialTest
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(DifferentialTest, SemiNaiveMatchesNaiveOnRandomGraphs) {
+  auto [nodes, edges, seed] = GetParam();
+  std::vector<std::pair<int64_t, int64_t>> edge_list;
+  uint64_t state = seed;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < edges; ++i) {
+    edge_list.emplace_back(next() % nodes, next() % nodes);
+  }
+
+  auto run = [&](EvalMode mode) {
+    EngineOptions opts;
+    opts.mode = mode;
+    Engine e("p", opts);
+    EXPECT_TRUE(e.LoadProgram(P(
+        "collection ext edge@p(x: int, y: int);"
+        "collection int tc@p(x: int, y: int);"
+        "rule tc@p($x, $y) :- edge@p($x, $y);"
+        "rule tc@p($x, $z) :- tc@p($x, $y), edge@p($y, $z);")).ok());
+    for (auto [a, b] : edge_list) {
+      EXPECT_TRUE(e.InsertFact(Fact("edge", "p", {I(a), I(b)})).ok());
+    }
+    Settle(&e);
+    return e.catalog().Get("tc")->SortedTuples();
+  };
+  EXPECT_EQ(run(EvalMode::kSemiNaive), run(EvalMode::kNaive));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, DifferentialTest,
+    ::testing::Values(std::make_tuple(5, 8, 1ull),
+                      std::make_tuple(10, 20, 2ull),
+                      std::make_tuple(20, 60, 3ull),
+                      std::make_tuple(8, 30, 4ull),
+                      std::make_tuple(30, 45, 5ull)));
+
+}  // namespace
+}  // namespace wdl

@@ -1,0 +1,161 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace wdl {
+namespace {
+
+std::vector<Token> Lex(std::string_view src) {
+  Result<std::vector<Token>> r = Tokenize(src);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? std::move(r).value() : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsOnlyEof) {
+  std::vector<Token> tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, PunctuationAndColonDash) {
+  std::vector<Token> tokens = Lex("@(),;:-:");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kAt);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kRParen);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kSemicolon);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kColonDash);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kColon);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, Identifiers) {
+  std::vector<Token> tokens = Lex("pictures sigmod _internal x2");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "pictures");
+  EXPECT_EQ(tokens[1].text, "sigmod");
+  EXPECT_EQ(tokens[2].text, "_internal");
+  EXPECT_EQ(tokens[3].text, "x2");
+}
+
+TEST(LexerTest, Variables) {
+  std::vector<Token> tokens = Lex("$x $owner $_");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[0].text, "x");
+  EXPECT_EQ(tokens[1].text, "owner");
+  EXPECT_EQ(tokens[2].text, "_");
+}
+
+TEST(LexerTest, DollarWithoutNameIsError) {
+  EXPECT_FALSE(Tokenize("$ x").ok());
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  std::vector<Token> tokens = Lex("0 42 -7");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, -7);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kInt);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  std::vector<Token> tokens = Lex("3.5 -0.25 1e3 2.5e-2");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDouble);
+  EXPECT_DOUBLE_EQ(tokens[0].double_value, 3.5);
+  EXPECT_DOUBLE_EQ(tokens[1].double_value, -0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+}
+
+TEST(LexerTest, IntegerFollowedByIdentifierEIsNotADouble) {
+  // "12e" must lex as integer 12 then identifier "e" (no exponent
+  // digits), not die or mis-lex.
+  std::vector<Token> tokens = Lex("12e");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInt);
+  EXPECT_EQ(tokens[0].int_value, 12);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].text, "e");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  std::vector<Token> tokens = Lex(R"("sea.jpg" "a\"b" "tab\there")");
+  EXPECT_EQ(tokens[0].text, "sea.jpg");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+  EXPECT_EQ(tokens[2].text, "tab\there");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, NewlineInStringIsError) {
+  EXPECT_FALSE(Tokenize("\"line\nbreak\"").ok());
+}
+
+TEST(LexerTest, BadEscapeIsError) {
+  EXPECT_FALSE(Tokenize(R"("\q")").ok());
+}
+
+TEST(LexerTest, BlobLiterals) {
+  std::vector<Token> tokens = Lex("0xdeadBEEF 0x00");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kBlob);
+  EXPECT_EQ(tokens[0].text, std::string("\xde\xad\xbe\xef", 4));
+  EXPECT_EQ(tokens[1].text, std::string("\0", 1));
+}
+
+TEST(LexerTest, OddLengthBlobIsError) {
+  EXPECT_FALSE(Tokenize("0xabc").ok());
+}
+
+TEST(LexerTest, EmptyBlobIsError) {
+  EXPECT_FALSE(Tokenize("0x ").ok());
+}
+
+TEST(LexerTest, LineComments) {
+  std::vector<Token> tokens = Lex("a // comment\nb # another\nc");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, BlockComments) {
+  std::vector<Token> tokens = Lex("a /* x\ny */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  EXPECT_FALSE(Tokenize("a /* never closed").ok());
+}
+
+TEST(LexerTest, PositionsTrackLinesAndColumns) {
+  std::vector<Token> tokens = Lex("abc\n  def");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, ErrorsCarryPosition) {
+  Result<std::vector<Token>> r = Tokenize("ok\n  ^bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("2:3"), std::string::npos)
+      << r.status();
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  EXPECT_FALSE(Tokenize("%").ok());
+  EXPECT_FALSE(Tokenize("[").ok());
+}
+
+TEST(LexerTest, IntegerOverflowIsError) {
+  EXPECT_FALSE(Tokenize("999999999999999999999999999").ok());
+}
+
+}  // namespace
+}  // namespace wdl

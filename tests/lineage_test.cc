@@ -1,0 +1,125 @@
+#include "analysis/lineage.h"
+
+#include <gtest/gtest.h>
+
+#include "acl/provenance_policy.h"
+#include "parser/parser.h"
+
+namespace wdl {
+namespace {
+
+Rule R(const std::string& text) {
+  Result<Rule> r = ParseRule(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? std::move(r).value() : Rule{};
+}
+
+TEST(LineageTest, DirectDependency) {
+  LineageMap lineage = ComputeLineage({R("v@a($x) :- base@a($x)")});
+  EXPECT_EQ(LineageOf(lineage, "v@a"),
+            (std::set<std::string>{"base@a"}));
+}
+
+TEST(LineageTest, TransitiveThroughDerivedPredicates) {
+  LineageMap lineage = ComputeLineage({
+      R("v1@a($x) :- base1@a($x)"),
+      R("v2@a($x) :- v1@a($x), base2@b($x)"),
+  });
+  EXPECT_EQ(LineageOf(lineage, "v2@a"),
+            (std::set<std::string>{"base1@a", "base2@b"}));
+}
+
+TEST(LineageTest, RecursionTerminatesAndCollectsBases) {
+  LineageMap lineage = ComputeLineage({
+      R("tc@a($x, $y) :- edge@a($x, $y)"),
+      R("tc@a($x, $z) :- tc@a($x, $y), edge@a($y, $z)"),
+  });
+  EXPECT_EQ(LineageOf(lineage, "tc@a"),
+            (std::set<std::string>{"edge@a"}));
+}
+
+TEST(LineageTest, MutualRecursion) {
+  LineageMap lineage = ComputeLineage({
+      R("even@a($x) :- zero@a($x)"),
+      R("even@a($x) :- pred@a($x, $y), odd@a($y)"),
+      R("odd@a($x) :- pred@a($x, $y), even@a($y)"),
+  });
+  EXPECT_EQ(LineageOf(lineage, "odd@a"),
+            (std::set<std::string>{"pred@a", "zero@a"}));
+  EXPECT_EQ(LineageOf(lineage, "even@a"),
+            (std::set<std::string>{"pred@a", "zero@a"}));
+}
+
+TEST(LineageTest, VariableLocationBecomesWildcard) {
+  LineageMap lineage = ComputeLineage({
+      R("v@a($x) :- sel@a($p), data@$p($x)"),
+  });
+  EXPECT_EQ(LineageOf(lineage, "v@a"),
+            (std::set<std::string>{"sel@a", kWildcardPredicate}));
+}
+
+TEST(LineageTest, NegatedAtomsCountAsDependencies) {
+  LineageMap lineage = ComputeLineage({
+      R("v@a($x) :- all@a($x), not secret@a($x)"),
+  });
+  EXPECT_EQ(LineageOf(lineage, "v@a"),
+            (std::set<std::string>{"all@a", "secret@a"}));
+}
+
+TEST(LineageTest, UndefinedPredicateHasEmptyLineage) {
+  LineageMap lineage = ComputeLineage({R("v@a($x) :- base@a($x)")});
+  EXPECT_TRUE(LineageOf(lineage, "ghost@a").empty());
+}
+
+TEST(ProvenancePolicyTest, ViewReadableOnlyWithAllBases) {
+  // The paper's Wepic publication pipeline: who may read the Facebook
+  // view is derived from who may read the sources.
+  std::vector<Rule> rules = {
+      R("wall@fb($i) :- pictures@sigmod($i), authorized@emilien($i)"),
+  };
+  AccessPolicy policy;
+  ASSERT_TRUE(DerivePolicyFromRules(rules, &policy).ok());
+
+  // Owners come from predicate ids.
+  EXPECT_EQ(policy.OwnerOf("pictures@sigmod"), "sigmod");
+  EXPECT_EQ(policy.OwnerOf("wall@fb"), "fb");
+
+  EXPECT_FALSE(policy.CheckRead("wall@fb", "jules"));
+  ASSERT_TRUE(policy.Grant("pictures@sigmod", "sigmod", "jules",
+                           Privilege::kRead).ok());
+  EXPECT_FALSE(policy.CheckRead("wall@fb", "jules"));  // one base only
+  ASSERT_TRUE(policy.Grant("authorized@emilien", "emilien", "jules",
+                           Privilege::kRead).ok());
+  EXPECT_TRUE(policy.CheckRead("wall@fb", "jules"));
+}
+
+TEST(ProvenancePolicyTest, WildcardLineageAlwaysDenies) {
+  std::vector<Rule> rules = {
+      R("v@a($x) :- sel@a($p), data@$p($x)"),
+  };
+  AccessPolicy policy;
+  ASSERT_TRUE(DerivePolicyFromRules(rules, &policy).ok());
+  // Even with read on the concrete base, the wildcard blocks: the view
+  // may read anything, so nobody but the owner passes.
+  ASSERT_TRUE(policy.Grant("sel@a", "a", "reader", Privilege::kRead).ok());
+  EXPECT_FALSE(policy.CheckRead("v@a", "reader"));
+  // The owner still reads (ownership short-circuits).
+  EXPECT_TRUE(policy.CheckRead("v@a", "a"));
+}
+
+TEST(ProvenancePolicyTest, DeclassificationStillWorksOnDerivedPolicy) {
+  std::vector<Rule> rules = {R("v@a($x) :- secret@a($x)")};
+  AccessPolicy policy;
+  ASSERT_TRUE(DerivePolicyFromRules(rules, &policy).ok());
+  EXPECT_FALSE(policy.CheckRead("v@a", "public"));
+  ASSERT_TRUE(policy.Declassify("v@a", "a", "public").ok());
+  EXPECT_TRUE(policy.CheckRead("v@a", "public"));
+}
+
+TEST(PredicateOwnerTest, ParsesPeerComponent) {
+  EXPECT_EQ(PredicateOwner("pictures@sigmod"), "sigmod");
+  EXPECT_EQ(PredicateOwner("noat"), "");
+}
+
+}  // namespace
+}  // namespace wdl

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "runtime/system.h"
+
+namespace wdl {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value S(const std::string& v) { return Value::String(v); }
+
+// Distributed stratified negation: the extension the 2013 prototype
+// lacked, exercised across peer boundaries where the negated atom is
+// evaluated at the *remote* peer via a ground residual rule.
+
+TEST(NegationSystemTest, RemoteNegatedAtomEvaluatesAtTarget) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  Peer* b = system.CreatePeer("b");
+  a->gate().TrustPeer("b");
+  b->gate().TrustPeer("a");
+  // a wants its items that b has NOT banned. The negated atom lives at
+  // b, so each candidate item ships as a ground negation check.
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext items@a(x: int);
+    collection int allowed@a(x: int);
+    fact items@a(1); fact items@a(2); fact items@a(3);
+    rule allowed@a($x) :- items@a($x), not banned@b($x);
+  )").ok());
+  ASSERT_TRUE(b->LoadProgramText(R"(
+    collection ext banned@b(x: int);
+    fact banned@b(2);
+  )").ok());
+
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  const Relation* allowed = a->engine().catalog().Get("allowed");
+  EXPECT_EQ(allowed->size(), 2u);
+  EXPECT_TRUE(allowed->Contains({I(1)}));
+  EXPECT_FALSE(allowed->Contains({I(2)}));
+  EXPECT_TRUE(allowed->Contains({I(3)}));
+}
+
+TEST(NegationSystemTest, BanningLaterRevokesDerivedFact) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  Peer* b = system.CreatePeer("b");
+  a->gate().TrustPeer("b");
+  b->gate().TrustPeer("a");
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext items@a(x: int);
+    collection int allowed@a(x: int);
+    fact items@a(1);
+    rule allowed@a($x) :- items@a($x), not banned@b($x);
+  )").ok());
+  ASSERT_TRUE(b->LoadProgramText(
+      "collection ext banned@b(x: int);").ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  ASSERT_EQ(a->engine().catalog().Get("allowed")->size(), 1u);
+
+  // b bans item 1: the delegated residual at b stops deriving, so b's
+  // contribution slice to allowed@a empties and the view shrinks.
+  ASSERT_TRUE(b->Insert(Fact("banned", "b", {I(1)})).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  EXPECT_EQ(a->engine().catalog().Get("allowed")->size(), 0u);
+}
+
+TEST(NegationSystemTest, Paper2013PeerRejectsDelegatedNegation) {
+  // A 2013-dialect peer must refuse a delegated rule carrying negation,
+  // exactly as the prototype would have ("not yet implemented").
+  SystemOptions system_options;
+  System system(system_options);
+  PeerOptions legacy;
+  legacy.engine.dialect = Dialect::kPaper2013;
+  Peer* a = system.CreatePeer("a");  // extended dialect
+  Peer* b = system.CreatePeer("b", legacy);
+  a->gate().TrustPeer("b");
+  b->gate().TrustPeer("a");
+
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext items@a(x: int);
+    collection int ok@a(x: int);
+    fact items@a(1);
+    rule ok@a($x) :- items@a($x), not banned@b($x);
+  )").ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  // The install was refused at b, so no rule of a's runs there and the
+  // view stays empty; the system still converges.
+  for (const InstalledRule* r : b->engine().rules()) {
+    EXPECT_EQ(r->delegation_key, 0u);
+  }
+  EXPECT_EQ(a->engine().catalog().Get("ok")->size(), 0u);
+}
+
+TEST(NegationSystemTest, LocalStrataRespectRemoteContributions) {
+  // Stratification interacts with remote views: unreach is computed
+  // over reach, which is partly fed by a remote peer's contribution.
+  System system;
+  Peer* a = system.CreatePeer("a");
+  Peer* b = system.CreatePeer("b");
+  a->gate().TrustPeer("b");
+  b->gate().TrustPeer("a");
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext node@a(x: int);
+    collection int reach@a(x: int);
+    collection int unreach@a(x: int);
+    fact node@a(1); fact node@a(2); fact node@a(3);
+    rule unreach@a($x) :- node@a($x), not reach@a($x);
+  )").ok());
+  ASSERT_TRUE(b->LoadProgramText(R"(
+    collection ext seen@b(x: int);
+    fact seen@b(1); fact seen@b(3);
+    rule reach@a($x) :- seen@b($x);
+  )").ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  const Relation* unreach = a->engine().catalog().Get("unreach");
+  ASSERT_EQ(unreach->size(), 1u);
+  EXPECT_TRUE(unreach->Contains({I(2)}));
+
+  // b un-sees 3: reach@a shrinks, unreach@a grows — non-monotone
+  // maintenance across the wire.
+  ASSERT_TRUE(b->Remove(Fact("seen", "b", {I(3)})).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  EXPECT_EQ(unreach->size(), 2u);
+  EXPECT_TRUE(unreach->Contains({I(3)}));
+}
+
+TEST(NegationSystemTest, WepicHideFilterWithNegation) {
+  // An audience-style customization using negation: show pictures of
+  // selected attendees EXCEPT those the owner hid.
+  System system;
+  Peer* jules = system.CreatePeer("jules");
+  Peer* emilien = system.CreatePeer("emilien");
+  jules->gate().TrustPeer("emilien");
+  emilien->gate().TrustPeer("jules");
+  ASSERT_TRUE(jules->LoadProgramText(R"(
+    collection ext selectedAttendee@jules(a: string);
+    collection int frame@jules(id: int, name: string);
+    fact selectedAttendee@jules("emilien");
+    rule frame@jules($i, $n) :-
+      selectedAttendee@jules($a), pictures@$a($i, $n),
+      not hidden@$a($i);
+  )").ok());
+  ASSERT_TRUE(emilien->LoadProgramText(R"(
+    collection ext pictures@emilien(id: int, name: string);
+    collection ext hidden@emilien(id: int);
+    fact pictures@emilien(1, "public.jpg");
+    fact pictures@emilien(2, "private.jpg");
+    fact hidden@emilien(2);
+  )").ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  const Relation* frame = jules->engine().catalog().Get("frame");
+  ASSERT_EQ(frame->size(), 1u);
+  EXPECT_TRUE(frame->Contains({I(1), S("public.jpg")}));
+}
+
+}  // namespace
+}  // namespace wdl

@@ -1,0 +1,188 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace wdl {
+namespace {
+
+TEST(ParserTest, ParsesGroundFact) {
+  Result<Fact> r = ParseFact(R"(pictures@sigmod(32, "sea.jpg", "Emilien"))");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->relation, "pictures");
+  EXPECT_EQ(r->peer, "sigmod");
+  ASSERT_EQ(r->args.size(), 3u);
+  EXPECT_EQ(r->args[0], Value::Int(32));
+  EXPECT_EQ(r->args[1], Value::String("sea.jpg"));
+}
+
+TEST(ParserTest, FactKeywordIsOptional) {
+  EXPECT_TRUE(ParseFact("fact f@p(1);").ok());
+  EXPECT_TRUE(ParseFact("f@p(1)").ok());
+}
+
+TEST(ParserTest, NonGroundFactIsRejected) {
+  EXPECT_FALSE(ParseFact("f@p($x)").ok());
+}
+
+TEST(ParserTest, ZeroArityAtomParses) {
+  Result<Fact> r = ParseFact("ping@alice()");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->arity(), 0u);
+}
+
+TEST(ParserTest, ParsesPaperSelectionRule) {
+  // Verbatim rule shape from §3 of the paper.
+  Result<Rule> r = ParseRule(
+      "attendeePictures@Jules($id, $name, $owner, $data) :- "
+      "selectedAttendee@Jules($attendee), "
+      "pictures@$attendee($id, $name, $owner, $data)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->head.relation.name(), "attendeePictures");
+  EXPECT_EQ(r->head.peer.name(), "Jules");
+  ASSERT_EQ(r->body.size(), 2u);
+  EXPECT_TRUE(r->body[1].peer.is_variable());
+  EXPECT_EQ(r->body[1].peer.var(), "attendee");
+}
+
+TEST(ParserTest, ParsesRelationAndPeerVariablesInHead) {
+  // The paper's transfer rule: both relation and peer of the head are
+  // variables.
+  Result<Rule> r = ParseRule(
+      "$protocol@$attendee($attendee, $name, $id, $owner) :- "
+      "selectedAttendee@Jules($attendee), "
+      "communicate@$attendee($protocol), "
+      "selectedPictures@Jules($name, $id, $owner)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->head.relation.is_variable());
+  EXPECT_TRUE(r->head.peer.is_variable());
+}
+
+TEST(ParserTest, ParsesNegatedAtoms) {
+  Result<Rule> r = ParseRule(
+      "missing@p($x) :- all@p($x), not present@p($x)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->body.size(), 2u);
+  EXPECT_FALSE(r->body[0].negated);
+  EXPECT_TRUE(r->body[1].negated);
+}
+
+TEST(ParserTest, NegatedHeadIsRejected) {
+  EXPECT_FALSE(ParseRule("not h@p($x) :- b@p($x)").ok());
+}
+
+TEST(ParserTest, BareIdentifierArgumentGivesHelpfulError) {
+  Result<Fact> r = ParseFact("f@p(sea)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("quote"), std::string::npos);
+}
+
+TEST(ParserTest, ParsesCollectionDeclarations) {
+  Result<Program> r = ParseProgram(
+      "collection ext persistent pictures@alice(id: int, name: string, "
+      "data: blob);\n"
+      "collection int view@alice(x, y: double);");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->declarations.size(), 2u);
+  const RelationDecl& d0 = r->declarations[0];
+  EXPECT_EQ(d0.kind, RelationKind::kExtensional);
+  EXPECT_EQ(d0.columns[0].type, ValueKind::kInt);
+  EXPECT_EQ(d0.columns[2].type, ValueKind::kBlob);
+  const RelationDecl& d1 = r->declarations[1];
+  EXPECT_EQ(d1.kind, RelationKind::kIntensional);
+  EXPECT_EQ(d1.columns[0].type, ValueKind::kAny);
+  EXPECT_EQ(d1.columns[1].type, ValueKind::kDouble);
+}
+
+TEST(ParserTest, UnknownColumnTypeIsError) {
+  EXPECT_FALSE(ParseProgram("collection ext r@p(x: float);").ok());
+}
+
+TEST(ParserTest, MissingSemicolonBetweenStatementsIsError) {
+  EXPECT_FALSE(ParseProgram("f@p(1)\ng@p(2);").ok());
+}
+
+TEST(ParserTest, MixedProgramParses) {
+  Result<Program> r = ParseProgram(R"(
+    # The Wepic attendee program, abridged.
+    collection ext pictures@jules(id: int, name: string);
+    fact pictures@jules(1, "dinner.jpg");
+    rule copy@sigmod($i, $n) :- pictures@jules($i, $n);
+  )");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->declarations.size(), 1u);
+  EXPECT_EQ(r->facts.size(), 1u);
+  EXPECT_EQ(r->rules.size(), 1u);
+}
+
+TEST(ParserTest, AnonymousVariablesAreRenamedApart) {
+  Result<Rule> r = ParseRule("h@p($x) :- b@p($x, $_, $_)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  const Atom& b = r->body[0];
+  ASSERT_EQ(b.args.size(), 3u);
+  EXPECT_TRUE(b.args[1].is_variable());
+  EXPECT_TRUE(b.args[2].is_variable());
+  EXPECT_NE(b.args[1].var(), b.args[2].var())
+      << "two $_ must not join with each other";
+}
+
+TEST(ParserTest, ParseAtomStandalone) {
+  Result<Atom> r = ParseAtom("not rate@$owner($id, 5)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->negated);
+  EXPECT_TRUE(r->peer.is_variable());
+  EXPECT_EQ(r->args[1], Term::Constant(Value::Int(5)));
+}
+
+TEST(ParserTest, TrailingGarbageAfterAtomIsError) {
+  EXPECT_FALSE(ParseAtom("a@p(1) extra").ok());
+}
+
+TEST(ParserTest, ErrorsIncludePosition) {
+  Result<Program> r = ParseProgram("f@p(1);\nbad@(2);");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("2:"), std::string::npos)
+      << r.status();
+}
+
+TEST(ParserTest, NumericValueKindsSurvive) {
+  Result<Fact> r = ParseFact("f@p(1, 2.5, \"s\", 0xff)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->args[0].is_int());
+  EXPECT_TRUE(r->args[1].is_double());
+  EXPECT_TRUE(r->args[2].is_string());
+  EXPECT_TRUE(r->args[3].is_blob());
+}
+
+// Round-trip property: parse(print(parse(text))) == parse(text), over
+// every statement type the grammar supports.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintThenReparseIsIdentity) {
+  Result<Program> first = ParseProgram(GetParam());
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string printed = first->ToString();
+  Result<Program> second = ParseProgram(printed);
+  ASSERT_TRUE(second.ok()) << second.status() << "\nprinted:\n" << printed;
+  EXPECT_EQ(second->declarations, first->declarations);
+  EXPECT_EQ(second->facts, first->facts);
+  EXPECT_EQ(second->rules, first->rules);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "collection ext pictures@alice(id: int, name: string, d: blob);",
+        "collection int view@alice(x, y);",
+        R"(fact pictures@sigmod(32, "sea.jpg", "Emilien", 0x64);)",
+        R"(fact weird@p("quote\"backslash\\newline\n");)",
+        "fact nums@p(-5, 2.5, -0.125, 1e3);",
+        "rule a@p($x) :- b@p($x);",
+        "rule a@p($x, $y) :- b@p($x), c@p($x, $y);",
+        "rule r@p($x) :- s@p($x), not t@p($x);",
+        "rule $r@$q($x) :- names@p($r), peers@p($q), data@p($x);",
+        "rule attendeePictures@Jules($id, $n, $o, $d) :- "
+        "selectedAttendee@Jules($a), pictures@$a($id, $n, $o, $d);",
+        "fact empty@p();"));
+
+}  // namespace
+}  // namespace wdl

@@ -1,0 +1,158 @@
+#include "runtime/peer.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace wdl {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value S(const std::string& v) { return Value::String(v); }
+
+Envelope Env(const std::string& from, const std::string& to, Message m) {
+  Envelope e;
+  e.from = from;
+  e.to = to;
+  e.message = std::move(m);
+  return e;
+}
+
+TEST(PeerTest, HandleFactInsertsQueuesIntoEngine) {
+  Peer p("alice");
+  p.HandleEnvelope(Env("bob", "alice",
+                       Message::FactInserts({Fact("r", "alice", {I(1)})})));
+  EXPECT_TRUE(p.HasPendingWork());
+  (void)p.RunStage();
+  EXPECT_TRUE(p.engine().catalog().Get("r")->Contains({I(1)}));
+}
+
+TEST(PeerTest, HandleFactDeletes) {
+  Peer p("alice");
+  ASSERT_TRUE(p.Insert(Fact("r", "alice", {I(1)})).ok());
+  p.HandleEnvelope(Env("bob", "alice",
+                       Message::FactDeletes({Fact("r", "alice", {I(1)})})));
+  (void)p.RunStage();
+  EXPECT_EQ(p.engine().catalog().Get("r")->size(), 0u);
+}
+
+TEST(PeerTest, UntrustedDelegationGoesPendingAndApprovalInstalls) {
+  Peer p("alice");
+  Delegation d;
+  d.origin_peer = "mallory";
+  d.target_peer = "alice";
+  d.rule = *ParseRule("out@mallory($x) :- data@alice($x)");
+  d.origin_rule_hash = d.rule.Hash();
+  p.HandleEnvelope(Env("mallory", "alice", Message::DelegationInstall(d)));
+  EXPECT_EQ(p.gate().pending_count(), 1u);
+  EXPECT_EQ(p.engine().rules().size(), 0u);
+
+  ASSERT_TRUE(p.ApproveDelegation(d.Key()).ok());
+  EXPECT_EQ(p.engine().rules().size(), 1u);
+}
+
+TEST(PeerTest, TrustAllOptionSkipsGate) {
+  PeerOptions options;
+  options.trust_all_delegations = true;
+  Peer p("alice", options);
+  Delegation d;
+  d.origin_peer = "anyone";
+  d.target_peer = "alice";
+  d.rule = *ParseRule("out@anyone($x) :- data@alice($x)");
+  p.HandleEnvelope(Env("anyone", "alice", Message::DelegationInstall(d)));
+  EXPECT_EQ(p.gate().pending_count(), 0u);
+  EXPECT_EQ(p.engine().rules().size(), 1u);
+}
+
+TEST(PeerTest, RetractOfPendingDelegationRemovesFromQueue) {
+  Peer p("alice");
+  Delegation d;
+  d.origin_peer = "mallory";
+  d.target_peer = "alice";
+  d.rule = *ParseRule("out@mallory($x) :- data@alice($x)");
+  p.HandleEnvelope(Env("mallory", "alice", Message::DelegationInstall(d)));
+  ASSERT_EQ(p.gate().pending_count(), 1u);
+  p.HandleEnvelope(Env("mallory", "alice",
+                       Message::DelegationRetract(d.Key())));
+  EXPECT_EQ(p.gate().pending_count(), 0u);
+  EXPECT_EQ(p.engine().rules().size(), 0u);
+}
+
+TEST(PeerTest, RetractOfInstalledDelegationRemovesRule) {
+  Peer p("alice");
+  p.gate().TrustPeer("friend");
+  Delegation d;
+  d.origin_peer = "friend";
+  d.target_peer = "alice";
+  d.rule = *ParseRule("out@friend($x) :- data@alice($x)");
+  p.HandleEnvelope(Env("friend", "alice", Message::DelegationInstall(d)));
+  ASSERT_EQ(p.engine().rules().size(), 1u);
+  p.HandleEnvelope(Env("friend", "alice",
+                       Message::DelegationRetract(d.Key())));
+  EXPECT_EQ(p.engine().rules().size(), 0u);
+}
+
+TEST(PeerTest, HelloRegistersKnownPeer) {
+  Peer p("alice");
+  p.HandleEnvelope(Env("bob", "alice", Message::Hello("charlie")));
+  EXPECT_TRUE(p.known_peers().count("bob"));      // sender
+  EXPECT_TRUE(p.known_peers().count("charlie"));  // announced
+}
+
+TEST(PeerTest, AddRuleTextParsesAndValidates) {
+  Peer p("alice");
+  EXPECT_TRUE(p.AddRuleText("v@alice($x) :- b@alice($x)").ok());
+  EXPECT_FALSE(p.AddRuleText("v@alice($x, $y) :- b@alice($x)").ok());
+  EXPECT_FALSE(p.AddRuleText("not a rule at all").ok());
+}
+
+TEST(PeerTest, RenderRelationHandlesMissingAndPresent) {
+  Peer p("alice");
+  EXPECT_NE(p.RenderRelation("ghost").find("not declared"),
+            std::string::npos);
+  ASSERT_TRUE(p.Insert(Fact("r", "alice", {I(7)})).ok());
+  std::string rendered = p.RenderRelation("r");
+  EXPECT_NE(rendered.find("(7)"), std::string::npos);
+  EXPECT_NE(rendered.find("ext"), std::string::npos);
+}
+
+TEST(PeerTest, DumpAndRestoreStateRoundTrips) {
+  Peer original("alice");
+  ASSERT_TRUE(original.LoadProgramText(R"(
+    collection ext pictures@alice(id: int, name: string);
+    collection int view@alice(id: int);
+    fact pictures@alice(1, "sea.jpg");
+    fact pictures@alice(2, "boat.jpg");
+    rule view@alice($i) :- pictures@alice($i, $n);
+  )").ok());
+  (void)original.RunStage();
+
+  std::string dumped = original.engine().DumpAsProgramText();
+  Peer restored("alice");
+  ASSERT_TRUE(restored.LoadProgramText(dumped).ok()) << dumped;
+  (void)restored.RunStage();
+
+  EXPECT_EQ(restored.engine().catalog().Get("pictures")->SortedTuples(),
+            original.engine().catalog().Get("pictures")->SortedTuples());
+  EXPECT_EQ(restored.engine().catalog().Get("view")->SortedTuples(),
+            original.engine().catalog().Get("view")->SortedTuples());
+  EXPECT_EQ(restored.engine().rules().size(),
+            original.engine().rules().size());
+}
+
+TEST(PeerTest, DumpExcludesDelegatedRules) {
+  Peer p("alice");
+  p.gate().TrustPeer("bob");
+  Delegation d;
+  d.origin_peer = "bob";
+  d.target_peer = "alice";
+  d.rule = *ParseRule("out@bob($x) :- data@alice($x)");
+  p.HandleEnvelope(Env("bob", "alice", Message::DelegationInstall(d)));
+  std::string dumped = p.engine().DumpAsProgramText();
+  EXPECT_EQ(dumped.find("out@bob"), std::string::npos)
+      << "delegated rules re-arrive from their origin; they must not be "
+         "persisted as local program";
+}
+
+}  // namespace
+}  // namespace wdl

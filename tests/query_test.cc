@@ -1,0 +1,124 @@
+#include "runtime/query.h"
+
+#include <gtest/gtest.h>
+
+namespace wdl {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value S(const std::string& v) { return Value::String(v); }
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    alice_ = system_.CreatePeer("alice");
+    bob_ = system_.CreatePeer("bob");
+    alice_->gate().TrustPeer("bob");
+    bob_->gate().TrustPeer("alice");
+    ASSERT_TRUE(alice_->LoadProgramText(R"(
+      collection ext likes@alice(who: string, what: string);
+      fact likes@alice("alice", "jazz");
+      fact likes@alice("alice", "rock");
+    )").ok());
+    ASSERT_TRUE(bob_->LoadProgramText(R"(
+      collection ext likes@bob(who: string, what: string);
+      fact likes@bob("bob", "jazz");
+    )").ok());
+    ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+  }
+
+  System system_;
+  Peer* alice_ = nullptr;
+  Peer* bob_ = nullptr;
+};
+
+TEST_F(QueryTest, LocalSingleAtomQuery) {
+  Result<QueryResult> r =
+      RunQuery(&system_, "alice", "likes@alice($w, $x)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"w", "x"}));
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(QueryTest, ConstantsFilterRows) {
+  Result<QueryResult> r =
+      RunQuery(&system_, "alice", "likes@alice($w, \"jazz\")");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"w"}));
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], S("alice"));
+}
+
+TEST_F(QueryTest, DistributedJoinQuery) {
+  // Who shares a taste with alice? Crosses to bob via delegation.
+  Result<QueryResult> r = RunQuery(
+      &system_, "alice", "likes@alice($me, $x), likes@bob($other, $x)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0], (Tuple{S("alice"), S("jazz"), S("bob")}));
+}
+
+TEST_F(QueryTest, QueryCleansUpDelegations) {
+  Result<QueryResult> r = RunQuery(
+      &system_, "alice", "likes@alice($me, $x), likes@bob($other, $x)");
+  ASSERT_TRUE(r.ok());
+  // After teardown, bob has no leftover delegated rules.
+  for (const InstalledRule* ir : bob_->engine().rules()) {
+    EXPECT_EQ(ir->delegation_key, 0u)
+        << "leftover: " << ir->rule.ToString();
+  }
+}
+
+TEST_F(QueryTest, RepeatedQueriesDoNotCollide) {
+  for (int i = 0; i < 3; ++i) {
+    Result<QueryResult> r =
+        RunQuery(&system_, "alice", "likes@alice($w, $x)");
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_EQ(r->rows.size(), 2u);
+  }
+}
+
+TEST_F(QueryTest, UnsafeQueryRejected) {
+  // $p is a peer variable not bound by a previous atom.
+  Result<QueryResult> r = RunQuery(&system_, "alice", "likes@$p($w, $x)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(QueryTest, UnknownPeerRejected) {
+  EXPECT_EQ(RunQuery(&system_, "ghost", "likes@alice($w, $x)")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, EmptyResultIsOkNotError) {
+  Result<QueryResult> r =
+      RunQuery(&system_, "alice", "likes@alice($w, \"opera\")");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_F(QueryTest, VariablePeerQueryFansOut) {
+  ASSERT_TRUE(alice_->LoadProgramText(R"(
+    collection ext friends@alice(p: string);
+    fact friends@alice("bob");
+  )").ok());
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+  Result<QueryResult> r = RunQuery(
+      &system_, "alice", "friends@alice($p), likes@$p($who, $what)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0], (Tuple{S("bob"), S("bob"), S("jazz")}));
+}
+
+TEST_F(QueryTest, ToStringRendersColumnsAndRows) {
+  Result<QueryResult> r =
+      RunQuery(&system_, "alice", "likes@alice($w, $x)");
+  ASSERT_TRUE(r.ok());
+  std::string rendered = r->ToString();
+  EXPECT_NE(rendered.find("$w"), std::string::npos);
+  EXPECT_NE(rendered.find("jazz"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdl

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/relation.h"
+
+namespace wdl {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value S(const std::string& v) { return Value::String(v); }
+
+RelationDecl Decl(const std::string& rel, const std::string& peer,
+                  std::vector<ColumnSpec> cols,
+                  RelationKind kind = RelationKind::kExtensional) {
+  RelationDecl d;
+  d.relation = rel;
+  d.peer = peer;
+  d.kind = kind;
+  d.columns = std::move(cols);
+  return d;
+}
+
+TEST(RelationTest, InsertAndContains) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}}));
+  Result<bool> inserted = r.Insert({I(1)});
+  ASSERT_TRUE(inserted.ok());
+  EXPECT_TRUE(*inserted);
+  EXPECT_TRUE(r.Contains({I(1)}));
+  EXPECT_FALSE(r.Contains({I(2)}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, DuplicateInsertReturnsFalse) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}}));
+  ASSERT_TRUE(*r.Insert({I(1)}));
+  Result<bool> again = r.Insert({I(1)});
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, ArityViolationRejected) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}}));
+  EXPECT_EQ(r.Insert({I(1), I(2)}).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(RelationTest, TypeViolationRejected) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}}));
+  EXPECT_EQ(r.Insert({S("nope")}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, AnyColumnsAcceptMixedKinds) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kAny}}));
+  EXPECT_TRUE(r.Insert({I(1)}).ok());
+  EXPECT_TRUE(r.Insert({S("s")}).ok());
+  EXPECT_TRUE(r.Insert({Value::Double(0.5)}).ok());
+  EXPECT_EQ(r.size(), 3u);
+}
+
+TEST(RelationTest, RemoveWorksAndReportsAbsence) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}}));
+  ASSERT_TRUE(r.Insert({I(1)}).ok());
+  EXPECT_TRUE(*r.Remove({I(1)}));
+  EXPECT_FALSE(*r.Remove({I(1)}));
+  EXPECT_EQ(r.size(), 0u);
+}
+
+TEST(RelationTest, LookupEqualBuildsIndexLazily) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}, {"y", ValueKind::kInt}}));
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(r.Insert({I(i % 10), I(i)}).ok());
+  }
+  EXPECT_FALSE(r.HasIndex(0));
+  int hits = 0;
+  r.LookupEqual(0, I(3), [&](const Tuple& t) {
+    EXPECT_EQ(t[0], I(3));
+    ++hits;
+  });
+  EXPECT_EQ(hits, 10);
+  EXPECT_TRUE(r.HasIndex(0));
+}
+
+TEST(RelationTest, IndexStaysConsistentAcrossInsertAndRemove) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}, {"y", ValueKind::kInt}}));
+  ASSERT_TRUE(r.Insert({I(1), I(10)}).ok());
+  // Build the index, then mutate.
+  r.LookupEqual(0, I(1), [](const Tuple&) {});
+  ASSERT_TRUE(r.Insert({I(1), I(11)}).ok());
+  ASSERT_TRUE(*r.Remove({I(1), I(10)}));
+
+  std::vector<Tuple> found;
+  r.LookupEqual(0, I(1), [&](const Tuple& t) { found.push_back(t); });
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0][1], I(11));
+}
+
+TEST(RelationTest, ScanEqualMatchesLookupEqual) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}, {"y", ValueKind::kInt}}));
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(r.Insert({I(i % 7), I(i)}).ok());
+  }
+  for (int64_t key = 0; key < 7; ++key) {
+    size_t scan_hits = 0, lookup_hits = 0;
+    r.ScanEqual(0, I(key), [&](const Tuple&) { ++scan_hits; });
+    r.LookupEqual(0, I(key), [&](const Tuple&) { ++lookup_hits; });
+    EXPECT_EQ(scan_hits, lookup_hits) << "key " << key;
+  }
+}
+
+TEST(RelationTest, ClearEmptiesDataAndIndexes) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}}));
+  ASSERT_TRUE(r.Insert({I(1)}).ok());
+  r.LookupEqual(0, I(1), [](const Tuple&) {});
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  int hits = 0;
+  r.LookupEqual(0, I(1), [&](const Tuple&) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(RelationTest, SortedTuplesIsCanonical) {
+  Relation r(Decl("r", "p", {{"x", ValueKind::kInt}}));
+  for (int64_t v : {5, 1, 3, 2, 4}) ASSERT_TRUE(r.Insert({I(v)}).ok());
+  std::vector<Tuple> sorted = r.SortedTuples();
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_TRUE(sorted[i - 1] < sorted[i]);
+  }
+}
+
+TEST(CatalogTest, DeclareAndGet) {
+  Catalog c("alice");
+  ASSERT_TRUE(c.Declare(Decl("r", "alice", {{"x", ValueKind::kInt}})).ok());
+  EXPECT_TRUE(c.Has("r"));
+  EXPECT_NE(c.Get("r"), nullptr);
+  EXPECT_EQ(c.Get("missing"), nullptr);
+}
+
+TEST(CatalogTest, DeclareForOtherPeerRejected) {
+  Catalog c("alice");
+  EXPECT_FALSE(c.Declare(Decl("r", "bob", {{"x", ValueKind::kInt}})).ok());
+}
+
+TEST(CatalogTest, RedeclareSameSchemaIsIdempotent) {
+  Catalog c("alice");
+  RelationDecl d = Decl("r", "alice", {{"x", ValueKind::kInt}});
+  ASSERT_TRUE(c.Declare(d).ok());
+  EXPECT_TRUE(c.Declare(d).ok());
+}
+
+TEST(CatalogTest, RedeclareDifferentSchemaRejected) {
+  Catalog c("alice");
+  ASSERT_TRUE(c.Declare(Decl("r", "alice", {{"x", ValueKind::kInt}})).ok());
+  EXPECT_EQ(c.Declare(Decl("r", "alice", {{"x", ValueKind::kString}})).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, AutoDeclareOnInsert) {
+  Catalog c("alice");
+  Result<bool> r = c.InsertFact(Fact("fresh", "alice", {I(1), S("a")}));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(*r);
+  const Relation* rel = c.Get("fresh");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->kind(), RelationKind::kExtensional);
+  EXPECT_EQ(rel->arity(), 2u);
+}
+
+TEST(CatalogTest, AutoDeclareDisabled) {
+  Catalog c("alice", /*auto_declare=*/false);
+  EXPECT_EQ(c.InsertFact(Fact("fresh", "alice", {I(1)})).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, InsertForWrongPeerRejected) {
+  Catalog c("alice");
+  EXPECT_FALSE(c.InsertFact(Fact("r", "bob", {I(1)})).ok());
+}
+
+TEST(CatalogTest, SnapshotReturnsSortedFacts) {
+  Catalog c("alice");
+  ASSERT_TRUE(c.InsertFact(Fact("r", "alice", {I(2)})).ok());
+  ASSERT_TRUE(c.InsertFact(Fact("r", "alice", {I(1)})).ok());
+  Result<std::vector<Fact>> snap = c.Snapshot("r");
+  ASSERT_TRUE(snap.ok());
+  ASSERT_EQ(snap->size(), 2u);
+  EXPECT_EQ((*snap)[0].args[0], I(1));
+  EXPECT_EQ((*snap)[1].args[0], I(2));
+}
+
+TEST(CatalogTest, ClearIntensionalLeavesExtensionalAlone) {
+  Catalog c("alice");
+  ASSERT_TRUE(c.Declare(Decl("base", "alice", {{"x", ValueKind::kInt}})).ok());
+  ASSERT_TRUE(c.Declare(Decl("view", "alice", {{"x", ValueKind::kInt}},
+                             RelationKind::kIntensional)).ok());
+  ASSERT_TRUE(c.Get("base")->Insert({I(1)}).ok());
+  ASSERT_TRUE(c.Get("view")->Insert({I(1)}).ok());
+  c.ClearIntensional();
+  EXPECT_EQ(c.Get("base")->size(), 1u);
+  EXPECT_EQ(c.Get("view")->size(), 0u);
+}
+
+TEST(CatalogTest, TotalTuplesSumsAllRelations) {
+  Catalog c("alice");
+  ASSERT_TRUE(c.InsertFact(Fact("a", "alice", {I(1)})).ok());
+  ASSERT_TRUE(c.InsertFact(Fact("b", "alice", {I(1)})).ok());
+  ASSERT_TRUE(c.InsertFact(Fact("b", "alice", {I(2)})).ok());
+  EXPECT_EQ(c.TotalTuples(), 3u);
+}
+
+// Property sweep: insert N distinct tuples, then every one is found by
+// point lookup on each column, for various N.
+class RelationSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RelationSweepTest, AllTuplesFindableByEveryColumn) {
+  int n = GetParam();
+  Relation r(Decl("r", "p", {{"a", ValueKind::kInt}, {"b", ValueKind::kInt}}));
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(r.Insert({I(i), I(i * 2)}).ok());
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    bool found0 = false, found1 = false;
+    r.LookupEqual(0, I(i), [&](const Tuple& t) {
+      found0 |= t[1] == I(i * 2);
+    });
+    r.LookupEqual(1, I(i * 2), [&](const Tuple& t) {
+      found1 |= t[0] == I(i);
+    });
+    EXPECT_TRUE(found0) << "column 0, key " << i;
+    EXPECT_TRUE(found1) << "column 1, key " << i * 2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RelationSweepTest,
+                         ::testing::Values(1, 2, 16, 100, 1000));
+
+}  // namespace
+}  // namespace wdl

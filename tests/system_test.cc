@@ -1,0 +1,276 @@
+#include "runtime/system.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace wdl {
+namespace {
+
+Fact F(const std::string& rel, const std::string& peer,
+       std::vector<Value> args) {
+  return Fact(rel, peer, std::move(args));
+}
+
+Value S(const std::string& s) { return Value::String(s); }
+Value I(int64_t i) { return Value::Int(i); }
+
+class SystemTest : public ::testing::Test {
+ protected:
+  System system_;
+};
+
+TEST_F(SystemTest, SinglePeerLocalView) {
+  Peer* p = system_.CreatePeer("alice");
+  ASSERT_TRUE(p->LoadProgramText(R"(
+    collection ext edge@alice(src: string, dst: string);
+    collection int reach@alice(src: string, dst: string);
+    fact edge@alice("a", "b");
+    fact edge@alice("b", "c");
+    rule reach@alice($x, $y) :- edge@alice($x, $y);
+    rule reach@alice($x, $z) :- reach@alice($x, $y), edge@alice($y, $z);
+  )").ok());
+
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+  const Relation* reach = p->engine().catalog().Get("reach");
+  ASSERT_NE(reach, nullptr);
+  EXPECT_EQ(reach->size(), 3u);  // ab bc ac
+  EXPECT_TRUE(reach->Contains({S("a"), S("c")}));
+}
+
+TEST_F(SystemTest, RemoteHeadDerivesPersistentFactsAtTarget) {
+  Peer* alice = system_.CreatePeer("alice");
+  Peer* bob = system_.CreatePeer("bob");
+  ASSERT_TRUE(alice->LoadProgramText(R"(
+    collection ext local@alice(x: int);
+    fact local@alice(1);
+    fact local@alice(2);
+    rule copy@bob($x) :- local@alice($x);
+  )").ok());
+
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+  const Relation* copy = bob->engine().catalog().Get("copy");
+  ASSERT_NE(copy, nullptr);  // auto-declared on arrival
+  EXPECT_EQ(copy->kind(), RelationKind::kExtensional);
+  EXPECT_TRUE(copy->Contains({I(1)}));
+  EXPECT_TRUE(copy->Contains({I(2)}));
+}
+
+TEST_F(SystemTest, DelegationInstallsResidualRuleAtRemotePeer) {
+  // The paper's selection rule shape: jules asks each selected attendee
+  // for their pictures. The second body atom lives at $attendee, so a
+  // residual rule is delegated there.
+  Peer* jules = system_.CreatePeer("jules");
+  Peer* emilien = system_.CreatePeer("emilien");
+  // For this engine-level test, skip the approval queue.
+  jules->gate().TrustPeer("emilien");
+  emilien->gate().TrustPeer("jules");
+
+  ASSERT_TRUE(jules->LoadProgramText(R"(
+    collection ext selectedAttendee@jules(attendee: string);
+    collection int attendeePictures@jules(id: int, name: string);
+    fact selectedAttendee@jules("emilien");
+    rule attendeePictures@jules($id, $name) :-
+      selectedAttendee@jules($attendee), pictures@$attendee($id, $name);
+  )").ok());
+  ASSERT_TRUE(emilien->LoadProgramText(R"(
+    collection ext pictures@emilien(id: int, name: string);
+    fact pictures@emilien(1, "sea.jpg");
+    fact pictures@emilien(2, "boat.jpg");
+  )").ok());
+
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+
+  // The residual rule is installed at emilien, marked as delegated.
+  bool found_delegated = false;
+  for (const InstalledRule* r : emilien->engine().rules()) {
+    if (r->delegation_key != 0) {
+      found_delegated = true;
+      EXPECT_EQ(r->origin_peer, "jules");
+    }
+  }
+  EXPECT_TRUE(found_delegated);
+
+  // And the view at jules contains emilien's pictures.
+  const Relation* view = jules->engine().catalog().Get("attendeePictures");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->size(), 2u);
+  EXPECT_TRUE(view->Contains({I(1), S("sea.jpg")}));
+}
+
+TEST_F(SystemTest, NewFactsAtDelegateeFlowWithoutReDelegation) {
+  Peer* jules = system_.CreatePeer("jules");
+  Peer* emilien = system_.CreatePeer("emilien");
+  jules->gate().TrustPeer("emilien");
+  emilien->gate().TrustPeer("jules");
+
+  ASSERT_TRUE(jules->LoadProgramText(R"(
+    collection ext selectedAttendee@jules(attendee: string);
+    collection int attendeePictures@jules(id: int, name: string);
+    fact selectedAttendee@jules("emilien");
+    rule attendeePictures@jules($id, $name) :-
+      selectedAttendee@jules($attendee), pictures@$attendee($id, $name);
+  )").ok());
+  ASSERT_TRUE(emilien->LoadProgramText(R"(
+    collection ext pictures@emilien(id: int, name: string);
+    fact pictures@emilien(1, "sea.jpg");
+  )").ok());
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+
+  // Upload a new picture at emilien only; the already-installed
+  // delegated rule must push it to jules' view.
+  ASSERT_TRUE(
+      emilien->Insert(F("pictures", "emilien", {I(9), S("new.jpg")})).ok());
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+
+  const Relation* view = jules->engine().catalog().Get("attendeePictures");
+  EXPECT_EQ(view->size(), 2u);
+  EXPECT_TRUE(view->Contains({I(9), S("new.jpg")}));
+}
+
+TEST_F(SystemTest, DeselectionRetractsDelegationAndClearsView) {
+  Peer* jules = system_.CreatePeer("jules");
+  Peer* emilien = system_.CreatePeer("emilien");
+  jules->gate().TrustPeer("emilien");
+  emilien->gate().TrustPeer("jules");
+
+  ASSERT_TRUE(jules->LoadProgramText(R"(
+    collection ext selectedAttendee@jules(attendee: string);
+    collection int attendeePictures@jules(id: int, name: string);
+    fact selectedAttendee@jules("emilien");
+    rule attendeePictures@jules($id, $name) :-
+      selectedAttendee@jules($attendee), pictures@$attendee($id, $name);
+  )").ok());
+  ASSERT_TRUE(emilien->LoadProgramText(R"(
+    collection ext pictures@emilien(id: int, name: string);
+    fact pictures@emilien(1, "sea.jpg");
+  )").ok());
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+  ASSERT_EQ(jules->engine().catalog().Get("attendeePictures")->size(), 1u);
+
+  // Deselect: the prefix binding disappears, so the delegation must be
+  // retracted at emilien and the view must empty at jules.
+  ASSERT_TRUE(
+      jules->Remove(F("selectedAttendee", "jules", {S("emilien")})).ok());
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+
+  EXPECT_EQ(jules->engine().catalog().Get("attendeePictures")->size(), 0u);
+  for (const InstalledRule* r : emilien->engine().rules()) {
+    EXPECT_EQ(r->delegation_key, 0u)
+        << "stale delegated rule: " << r->rule.ToString();
+  }
+}
+
+TEST_F(SystemTest, ChainedDelegationAcrossThreePeers) {
+  // a's rule walks through b then c: delegation to b, then residual
+  // delegation from b to c, with results flowing back to a.
+  Peer* a = system_.CreatePeer("a");
+  Peer* b = system_.CreatePeer("b");
+  Peer* c = system_.CreatePeer("c");
+  for (Peer* p : {a, b, c}) {
+    p->gate().TrustPeer("a");
+    p->gate().TrustPeer("b");
+    p->gate().TrustPeer("c");
+  }
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext start@a(x: string);
+    collection int out@a(x: string, y: string, z: string);
+    fact start@a("s");
+    rule out@a($x, $y, $z) :- start@a($x), mid@b($x, $y), end@c($y, $z);
+  )").ok());
+  ASSERT_TRUE(b->LoadProgramText(R"(
+    collection ext mid@b(x: string, y: string);
+    fact mid@b("s", "m1");
+    fact mid@b("s", "m2");
+  )").ok());
+  ASSERT_TRUE(c->LoadProgramText(R"(
+    collection ext end@c(y: string, z: string);
+    fact end@c("m1", "e1");
+    fact end@c("m2", "e2");
+  )").ok());
+
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+
+  const Relation* out = a->engine().catalog().Get("out");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_TRUE(out->Contains({S("s"), S("m1"), S("e1")}));
+  EXPECT_TRUE(out->Contains({S("s"), S("m2"), S("e2")}));
+
+  // b holds one delegated rule from a; c holds residuals from b
+  // (one per binding of $y).
+  size_t delegated_at_c = 0;
+  for (const InstalledRule* r : c->engine().rules()) {
+    if (r->delegation_key != 0) {
+      ++delegated_at_c;
+      EXPECT_EQ(r->origin_peer, "b");
+    }
+  }
+  EXPECT_EQ(delegated_at_c, 2u);
+}
+
+TEST_F(SystemTest, QuiescentSystemStopsSendingMessages) {
+  Peer* alice = system_.CreatePeer("alice");
+  Peer* bob = system_.CreatePeer("bob");
+  bob->gate().TrustPeer("alice");
+  alice->gate().TrustPeer("bob");
+  ASSERT_TRUE(alice->LoadProgramText(R"(
+    collection ext data@alice(x: int);
+    fact data@alice(1);
+    rule mirror@bob($x) :- data@alice($x);
+  )").ok());
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+
+  uint64_t sent_before = system_.network().stats().messages_submitted;
+  // Ten more rounds must produce zero traffic.
+  for (int i = 0; i < 10; ++i) system_.RunRound();
+  EXPECT_EQ(system_.network().stats().messages_submitted, sent_before);
+}
+
+TEST_F(SystemTest, UpdateRuleDefersLocalExtensionalInsertToNextStage) {
+  Peer* p = system_.CreatePeer("alice");
+  ASSERT_TRUE(p->LoadProgramText(R"(
+    collection ext a@alice(x: int);
+    collection ext b@alice(x: int);
+    fact a@alice(7);
+    rule b@alice($x) :- a@alice($x);
+  )").ok());
+  // After one stage, b is still empty (deferred); after convergence it
+  // holds the fact.
+  system_.RunRound();
+  const Relation* b_rel = p->engine().catalog().Get("b");
+  EXPECT_EQ(b_rel->size(), 0u);
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+  EXPECT_TRUE(b_rel->Contains({I(7)}));
+}
+
+TEST_F(SystemTest, PartitionLosesTrafficAndHealsOnNewUpdates) {
+  Peer* alice = system_.CreatePeer("alice");
+  Peer* bob = system_.CreatePeer("bob");
+  (void)bob;
+  ASSERT_TRUE(alice->LoadProgramText(R"(
+    collection ext data@alice(x: int);
+    rule mirror@bob($x) :- data@alice($x);
+  )").ok());
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+
+  system_.network().SetPartitioned("alice", "bob", true);
+  ASSERT_TRUE(alice->Insert(F("data", "alice", {I(1)})).ok());
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+  const Relation* mirror =
+      system_.GetPeer("bob")->engine().catalog().Get("mirror");
+  EXPECT_TRUE(mirror == nullptr || mirror->size() == 0u);
+  EXPECT_GT(system_.network().stats().messages_partitioned, 0u);
+
+  // Heal and trigger a re-send with a new fact: the derived set
+  // changes, so the full set (both tuples) is retransmitted.
+  system_.network().SetPartitioned("alice", "bob", false);
+  ASSERT_TRUE(alice->Insert(F("data", "alice", {I(2)})).ok());
+  ASSERT_TRUE(system_.RunUntilQuiescent().ok());
+  mirror = system_.GetPeer("bob")->engine().catalog().Get("mirror");
+  ASSERT_NE(mirror, nullptr);
+  EXPECT_EQ(mirror->size(), 2u);
+}
+
+}  // namespace
+}  // namespace wdl

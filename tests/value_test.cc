@@ -1,0 +1,83 @@
+#include "ast/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wdl {
+namespace {
+
+TEST(ValueTest, IntRoundTrip) {
+  Value v = Value::Int(42);
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.kind(), ValueKind::kInt);
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(ValueTest, NegativeInt) {
+  Value v = Value::Int(-7);
+  EXPECT_EQ(v.AsInt(), -7);
+  EXPECT_EQ(v.ToString(), "-7");
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v = Value::Double(3.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.5);
+  EXPECT_EQ(v.ToString(), "3.5");
+}
+
+TEST(ValueTest, WholeDoublePrintsWithFraction) {
+  // A whole-valued double must not print as an int: it would change
+  // type on a parse round-trip.
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+}
+
+TEST(ValueTest, StringEscaping) {
+  Value v = Value::String("a\"b\\c\nd");
+  EXPECT_EQ(v.ToString(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(ValueTest, BlobHexRendering) {
+  Value v = Value::MakeBlob(std::string("\xde\xad\xbe\xef", 4));
+  EXPECT_TRUE(v.is_blob());
+  EXPECT_EQ(v.ToString(), "0xdeadbeef");
+}
+
+TEST(ValueTest, EqualityIsKindAndContent) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_NE(Value::Int(1), Value::Double(1.0));
+  EXPECT_NE(Value::String("1"), Value::Int(1));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(ValueTest, HashAgreesWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_NE(Value::Int(5).Hash(), Value::String("5").Hash());
+  // -0.0 == 0.0 for doubles, so hashes must match.
+  EXPECT_EQ(Value::Double(0.0).Hash(), Value::Double(-0.0).Hash());
+}
+
+TEST(ValueTest, TotalOrderSortsByKindThenContent) {
+  std::set<Value> values{Value::String("b"), Value::Int(2), Value::Int(1),
+                         Value::Double(0.5), Value::String("a")};
+  std::vector<Value> sorted(values.begin(), values.end());
+  ASSERT_EQ(sorted.size(), 5u);
+  EXPECT_EQ(sorted[0], Value::Int(1));
+  EXPECT_EQ(sorted[1], Value::Int(2));
+  EXPECT_EQ(sorted[2], Value::Double(0.5));
+  EXPECT_EQ(sorted[3], Value::String("a"));
+  EXPECT_EQ(sorted[4], Value::String("b"));
+}
+
+TEST(ValueTest, DefaultIsIntZero) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace wdl

@@ -1,0 +1,263 @@
+#include "wepic/wepic.h"
+
+#include <gtest/gtest.h>
+
+namespace wdl {
+namespace {
+
+class WepicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(app_.SetupConference().ok());
+    ASSERT_TRUE(app_.AddAttendee("Emilien").ok());
+    ASSERT_TRUE(app_.AddAttendee("Jules").ok());
+    // The two demo laptops trust each other for the data-flow scenarios
+    // (delegation *control* is tested separately below and in acl_test).
+    app_.attendee("Emilien")->gate().TrustPeer("Jules");
+    app_.attendee("Jules")->gate().TrustPeer("Emilien");
+  }
+
+  WepicApp app_;
+};
+
+// F1: the "Attendee pictures" frame of Figure 1.
+TEST_F(WepicTest, SelectionRulePopulatesAttendeePicturesFrame) {
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 1, "sea.jpg", "\x01\x02").ok());
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 2, "boat.jpg", "\x03").ok());
+  ASSERT_TRUE(app_.SelectAttendee("Jules", "Emilien").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  const Relation* frame =
+      app_.attendee("Jules")->engine().catalog().Get("attendeePictures");
+  ASSERT_NE(frame, nullptr);
+  EXPECT_EQ(frame->size(), 2u);
+
+  std::string rendered = app_.RenderAttendeePicturesFrame("Jules");
+  EXPECT_NE(rendered.find("sea.jpg"), std::string::npos);
+  EXPECT_NE(rendered.find("by Emilien"), std::string::npos);
+}
+
+TEST_F(WepicTest, SelectingMultipleAttendeesMergesTheirPictures) {
+  ASSERT_TRUE(app_.AddAttendee("Julia").ok());
+  app_.attendee("Julia")->gate().TrustPeer("Jules");
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 1, "sea.jpg", "a").ok());
+  ASSERT_TRUE(app_.UploadPicture("Julia", 10, "talk.jpg", "b").ok());
+  ASSERT_TRUE(app_.SelectAttendee("Jules", "Emilien").ok());
+  ASSERT_TRUE(app_.SelectAttendee("Jules", "Julia").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  const Relation* frame =
+      app_.attendee("Jules")->engine().catalog().Get("attendeePictures");
+  EXPECT_EQ(frame->size(), 2u);
+}
+
+// S1: upload propagates to sigmod, then (once authorized) to SigmodFB
+// and the Facebook wall itself.
+TEST_F(WepicTest, UploadPropagatesToSigmodAndFacebookWhenAuthorized) {
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 1, "sea.jpg", "abc").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  // Published to pictures@sigmod automatically.
+  const Relation* at_sigmod =
+      app_.sigmod()->engine().catalog().Get("pictures");
+  ASSERT_NE(at_sigmod, nullptr);
+  EXPECT_EQ(at_sigmod->size(), 1u);
+
+  // Not on Facebook yet: no authorization.
+  EXPECT_FALSE(app_.facebook().GroupHasPicture(kFacebookGroup, 1));
+
+  ASSERT_TRUE(app_.AuthorizeFacebook("Emilien", 1).ok());
+  ASSERT_TRUE(app_.Converge().ok());
+  EXPECT_TRUE(app_.facebook().GroupHasPicture(kFacebookGroup, 1));
+}
+
+TEST_F(WepicTest, UnauthorizedPicturesStayOffFacebook) {
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 1, "private.jpg", "x").ok());
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 2, "public.jpg", "y").ok());
+  ASSERT_TRUE(app_.AuthorizeFacebook("Emilien", 2).ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  EXPECT_FALSE(app_.facebook().GroupHasPicture(kFacebookGroup, 1));
+  EXPECT_TRUE(app_.facebook().GroupHasPicture(kFacebookGroup, 2));
+}
+
+// S1 reverse direction: pictures posted on the Facebook wall are
+// retrieved and published at the sigmod peer.
+TEST_F(WepicTest, FacebookWallPicturesFlowBackToSigmod) {
+  FacebookService::Picture pic;
+  pic.id = 77;
+  pic.name = "wall.jpg";
+  pic.owner = "Jules";
+  pic.data = "wall-bytes";
+  ASSERT_TRUE(app_.facebook().PostPicture(kFacebookGroup, pic).ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  const Relation* at_sigmod =
+      app_.sigmod()->engine().catalog().Get("pictures");
+  ASSERT_NE(at_sigmod, nullptr);
+  EXPECT_TRUE(at_sigmod->Contains({Value::Int(77), Value::String("wall.jpg"),
+                                   Value::String("Jules"),
+                                   Value::MakeBlob("wall-bytes")}));
+}
+
+// S2: customizing the selection rule to the rating-5 filter changes the
+// frame contents.
+TEST_F(WepicTest, RatingFilterCustomizationChangesFrame) {
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 1, "good.jpg", "a").ok());
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 2, "meh.jpg", "b").ok());
+  ASSERT_TRUE(app_.RatePicture("Emilien", 1, 5).ok());
+  ASSERT_TRUE(app_.RatePicture("Emilien", 2, 3).ok());
+  ASSERT_TRUE(app_.SelectAttendee("Jules", "Emilien").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  const Relation* frame =
+      app_.attendee("Jules")->engine().catalog().Get("attendeePictures");
+  ASSERT_EQ(frame->size(), 2u);
+
+  ASSERT_TRUE(app_.InstallRatingFilter("Jules", 5).ok());
+  ASSERT_TRUE(app_.Converge().ok());
+  EXPECT_EQ(frame->size(), 1u);
+  EXPECT_TRUE(frame->Contains({Value::Int(1), Value::String("good.jpg"),
+                               Value::String("Emilien"),
+                               Value::MakeBlob("a")}));
+}
+
+// S5: the protocol-based transfer rule routes over email.
+TEST_F(WepicTest, TransferRuleRoutesPicturesOverEmail) {
+  ASSERT_TRUE(app_.SetCommunicationProtocol("Emilien", "email").ok());
+  ASSERT_TRUE(app_.UploadPicture("Jules", 3, "dinner.jpg", "d").ok());
+  ASSERT_TRUE(app_.SelectAttendee("Jules", "Emilien").ok());
+  ASSERT_TRUE(app_.SelectPicture("Jules", "dinner.jpg", 3, "Jules").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  // The chained delegation lands facts in email@Emilien, which the
+  // email wrapper delivers to Emilien's inbox.
+  const Relation* email =
+      app_.attendee("Emilien")->engine().catalog().Get("email");
+  ASSERT_NE(email, nullptr);
+  EXPECT_EQ(email->size(), 1u);
+  EXPECT_GE(app_.email().InboxOf("Emilien@example.org").size(), 1u);
+}
+
+// S3 + F3: delegation from an untrusted peer waits for approval; the
+// program changes only once approval is granted.
+TEST_F(WepicTest, DelegationControlRequiresApproval) {
+  ASSERT_TRUE(app_.AddAttendee("Julia").ok());
+  // Julia writes a rule whose body reads Jules' pictures: evaluating it
+  // delegates a residual rule to Jules — who does NOT trust Julia.
+  ASSERT_TRUE(app_.attendee("Julia")->LoadProgramText(R"(
+    collection int spied@Julia(id: int, name: string, owner: string, data: blob);
+    collection ext target@Julia(who: string);
+    fact target@Julia("Jules");
+    rule spied@Julia($i, $n, $o, $d) :-
+      target@Julia($w), pictures@$w($i, $n, $o, $d);
+  )").ok());
+  ASSERT_TRUE(app_.UploadPicture("Jules", 5, "secret.jpg", "s").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  Peer* jules = app_.attendee("Jules");
+  // Pending, not installed.
+  EXPECT_EQ(jules->gate().pending_count(), 1u);
+  for (const InstalledRule* r : jules->engine().rules()) {
+    EXPECT_NE(r->origin_peer, "Julia");
+  }
+  const Relation* spied =
+      app_.attendee("Julia")->engine().catalog().Get("spied");
+  EXPECT_EQ(spied->size(), 0u);
+
+  // Approve: the program of Jules changes and data flows.
+  uint64_t key = jules->gate().Pending().front()->Key();
+  ASSERT_TRUE(jules->ApproveDelegation(key).ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  bool installed = false;
+  for (const InstalledRule* r : jules->engine().rules()) {
+    installed |= r->origin_peer == "Julia";
+  }
+  EXPECT_TRUE(installed);
+  EXPECT_EQ(spied->size(), 1u);
+}
+
+TEST_F(WepicTest, RejectedDelegationNeverInstalls) {
+  ASSERT_TRUE(app_.AddAttendee("Julia").ok());
+  ASSERT_TRUE(app_.attendee("Julia")->LoadProgramText(R"(
+    collection int spied@Julia(id: int, name: string, owner: string, data: blob);
+    collection ext target@Julia(who: string);
+    fact target@Julia("Jules");
+    rule spied@Julia($i, $n, $o, $d) :-
+      target@Julia($w), pictures@$w($i, $n, $o, $d);
+  )").ok());
+  ASSERT_TRUE(app_.UploadPicture("Jules", 5, "secret.jpg", "s").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  Peer* jules = app_.attendee("Jules");
+  ASSERT_EQ(jules->gate().pending_count(), 1u);
+  uint64_t key = jules->gate().Pending().front()->Key();
+  ASSERT_TRUE(jules->RejectDelegation(key).ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  for (const InstalledRule* r : jules->engine().rules()) {
+    EXPECT_NE(r->origin_peer, "Julia");
+  }
+  EXPECT_EQ(
+      app_.attendee("Julia")->engine().catalog().Get("spied")->size(), 0u);
+}
+
+// S4: audience members launch their own peers and join dynamically.
+TEST_F(WepicTest, AudiencePeersJoinDynamically) {
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 1, "sea.jpg", "a").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  ASSERT_TRUE(app_.AddAttendee("Visitor1").ok());
+  ASSERT_TRUE(app_.AddAttendee("Visitor2").ok());
+  app_.attendee("Emilien")->gate().TrustPeer("Visitor1");
+  ASSERT_TRUE(app_.UploadPicture("Visitor1", 100, "phone.jpg", "p").ok());
+  ASSERT_TRUE(app_.SelectAttendee("Visitor1", "Emilien").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  // Visitor1 sees Emilien's picture; sigmod saw both uploads; the
+  // registry knows four attendees.
+  EXPECT_EQ(app_.attendee("Visitor1")
+                ->engine()
+                .catalog()
+                .Get("attendeePictures")
+                ->size(),
+            1u);
+  EXPECT_EQ(app_.sigmod()->engine().catalog().Get("pictures")->size(), 2u);
+  EXPECT_EQ(app_.sigmod()->engine().catalog().Get("attendees")->size(), 4u);
+}
+
+TEST_F(WepicTest, AnnotationsAreStoredLocally) {
+  ASSERT_TRUE(app_.UploadPicture("Jules", 1, "pic.jpg", "x").ok());
+  ASSERT_TRUE(app_.CommentPicture("Jules", 1, "Emilien", "nice shot").ok());
+  ASSERT_TRUE(app_.TagPicture("Jules", 1, "Serge").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+
+  const Catalog& cat = app_.attendee("Jules")->engine().catalog();
+  EXPECT_EQ(cat.Get("comment")->size(), 1u);
+  EXPECT_EQ(cat.Get("tag")->size(), 1u);
+}
+
+TEST_F(WepicTest, DeselectionEmptiesFrameAfterReconvergence) {
+  ASSERT_TRUE(app_.UploadPicture("Emilien", 1, "sea.jpg", "a").ok());
+  ASSERT_TRUE(app_.SelectAttendee("Jules", "Emilien").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+  ASSERT_EQ(app_.attendee("Jules")
+                ->engine()
+                .catalog()
+                .Get("attendeePictures")
+                ->size(),
+            1u);
+
+  ASSERT_TRUE(app_.DeselectAttendee("Jules", "Emilien").ok());
+  ASSERT_TRUE(app_.Converge().ok());
+  EXPECT_EQ(app_.attendee("Jules")
+                ->engine()
+                .catalog()
+                .Get("attendeePictures")
+                ->size(),
+            0u);
+}
+
+}  // namespace
+}  // namespace wdl

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "runtime/system.h"
+#include "wrappers/email_wrapper.h"
+#include "wrappers/facebook_wrapper.h"
+
+namespace wdl {
+namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value S(const std::string& v) { return Value::String(v); }
+
+TEST(FacebookServiceTest, FriendshipsAreSymmetric) {
+  FacebookService fb;
+  fb.AddFriendship("emilien", "jules");
+  EXPECT_EQ(fb.FriendsOf("emilien"), std::vector<std::string>{"jules"});
+  EXPECT_EQ(fb.FriendsOf("jules"), std::vector<std::string>{"emilien"});
+}
+
+TEST(FacebookServiceTest, PostingRequiresMembership) {
+  FacebookService fb;
+  fb.CreateGroup("sigmod");
+  FacebookService::Picture pic{1, "x.jpg", "outsider", "d"};
+  EXPECT_EQ(fb.PostPicture("sigmod", pic).code(),
+            StatusCode::kPermissionDenied);
+  ASSERT_TRUE(fb.JoinGroup("sigmod", "outsider").ok());
+  EXPECT_TRUE(fb.PostPicture("sigmod", pic).ok());
+  EXPECT_TRUE(fb.GroupHasPicture("sigmod", 1));
+}
+
+TEST(FacebookServiceTest, DuplicatePostIsIdempotent) {
+  FacebookService fb;
+  fb.CreateGroup("g");
+  ASSERT_TRUE(fb.JoinGroup("g", "u").ok());
+  FacebookService::Picture pic{1, "x.jpg", "u", "d"};
+  ASSERT_TRUE(fb.PostPicture("g", pic).ok());
+  uint64_t v = fb.version();
+  ASSERT_TRUE(fb.PostPicture("g", pic).ok());
+  EXPECT_EQ(fb.version(), v);
+  EXPECT_EQ(fb.GroupPictures("g").size(), 1u);
+}
+
+TEST(FacebookServiceTest, VersionBumpsOnMutation) {
+  FacebookService fb;
+  uint64_t v0 = fb.version();
+  fb.AddUser("u");
+  EXPECT_GT(fb.version(), v0);
+}
+
+TEST(FacebookServiceTest, CommentsRequireExistingGroup) {
+  FacebookService fb;
+  EXPECT_FALSE(fb.AddComment("ghost", {1, "a", "t"}).ok());
+  fb.CreateGroup("g");
+  EXPECT_TRUE(fb.AddComment("g", {1, "a", "t"}).ok());
+  EXPECT_EQ(fb.GroupComments("g").size(), 1u);
+}
+
+TEST(GroupWrapperTest, ImportsWallIntoRelation) {
+  System system;
+  FacebookService fb;
+  fb.CreateGroup("sigmod");
+  ASSERT_TRUE(fb.JoinGroup("sigmod", "emilien").ok());
+  ASSERT_TRUE(
+      fb.PostPicture("sigmod", {7, "wall.jpg", "emilien", "bytes"}).ok());
+
+  system.CreatePeer("SigmodFB");
+  ASSERT_TRUE(system.AttachWrapper(std::make_unique<FacebookGroupWrapper>(
+      "SigmodFB", &fb, "sigmod")).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  const Relation* pics =
+      system.GetPeer("SigmodFB")->engine().catalog().Get("pictures");
+  ASSERT_NE(pics, nullptr);
+  EXPECT_TRUE(pics->Contains({I(7), S("wall.jpg"), S("emilien"),
+                              Value::MakeBlob("bytes")}));
+}
+
+TEST(GroupWrapperTest, ExportsDerivedTuplesToWall) {
+  System system;
+  FacebookService fb;
+  fb.CreateGroup("sigmod");
+  ASSERT_TRUE(fb.JoinGroup("sigmod", "emilien").ok());
+
+  Peer* peer = system.CreatePeer("SigmodFB");
+  ASSERT_TRUE(system.AttachWrapper(std::make_unique<FacebookGroupWrapper>(
+      "SigmodFB", &fb, "sigmod")).ok());
+  // Simulate a rule-derived insertion into the exported relation.
+  ASSERT_TRUE(peer->Insert(Fact("pictures", "SigmodFB",
+                                {I(3), S("derived.jpg"), S("emilien"),
+                                 Value::MakeBlob("x")})).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  EXPECT_TRUE(fb.GroupHasPicture("sigmod", 3));
+}
+
+TEST(GroupWrapperTest, NonMemberPostIsRejectedAndRemoved) {
+  System system;
+  FacebookService fb;
+  fb.CreateGroup("sigmod");
+
+  Peer* peer = system.CreatePeer("SigmodFB");
+  auto wrapper = std::make_unique<FacebookGroupWrapper>("SigmodFB", &fb,
+                                                        "sigmod");
+  FacebookGroupWrapper* w = wrapper.get();
+  ASSERT_TRUE(system.AttachWrapper(std::move(wrapper)).ok());
+  ASSERT_TRUE(peer->Insert(Fact("pictures", "SigmodFB",
+                                {I(3), S("x.jpg"), S("stranger"),
+                                 Value::MakeBlob("x")})).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  EXPECT_FALSE(fb.GroupHasPicture("sigmod", 3));
+  EXPECT_EQ(w->rejected_posts(), 1u);
+  EXPECT_EQ(peer->engine().catalog().Get("pictures")->size(), 0u);
+}
+
+TEST(UserWrapperTest, ExportsFriendsAndPictures) {
+  System system;
+  FacebookService fb;
+  fb.AddFriendship("emilien", "jules");
+  fb.AddFriendship("emilien", "serge");
+  fb.AddUserPicture("emilien", {1, "profile.jpg", "emilien", "d"});
+
+  system.CreatePeer("EmilienFB");
+  ASSERT_TRUE(system.AttachWrapper(std::make_unique<FacebookUserWrapper>(
+      "EmilienFB", &fb, "emilien")).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  const Catalog& cat = system.GetPeer("EmilienFB")->engine().catalog();
+  EXPECT_EQ(cat.Get("friends")->size(), 2u);
+  ASSERT_EQ(cat.Get("pictures")->size(), 1u);
+  EXPECT_TRUE(cat.Get("friends")->Contains({S("emilien"), S("jules")}));
+}
+
+TEST(UserWrapperTest, RulesCanJoinOverWrapperRelations) {
+  // §2's point: wrapper relations "can then be used in WebdamLog
+  // rules". A rule over friends@EmilienFB runs like over any relation.
+  System system;
+  FacebookService fb;
+  fb.AddFriendship("emilien", "jules");
+
+  Peer* peer = system.CreatePeer("EmilienFB");
+  ASSERT_TRUE(system.AttachWrapper(std::make_unique<FacebookUserWrapper>(
+      "EmilienFB", &fb, "emilien")).ok());
+  ASSERT_TRUE(peer->LoadProgramText(R"(
+    collection int friendNames@EmilienFB(name: string);
+    rule friendNames@EmilienFB($f) :- friends@EmilienFB($u, $f);
+  )").ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  EXPECT_TRUE(peer->engine().catalog().Get("friendNames")->Contains(
+      {S("jules")}));
+}
+
+TEST(EmailWrapperTest, DeliversEachTupleOnce) {
+  System system;
+  EmailService mail;
+  Peer* peer = system.CreatePeer("jules");
+  ASSERT_TRUE(system.AttachWrapper(std::make_unique<EmailWrapper>(
+      "jules", &mail, "jules@example.org")).ok());
+
+  ASSERT_TRUE(peer->Insert(Fact("email", "jules",
+                                {S("jules"), S("dinner.jpg"), I(3),
+                                 S("emilien")})).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  ASSERT_EQ(mail.InboxOf("jules@example.org").size(), 1u);
+  EXPECT_EQ(mail.InboxOf("jules@example.org")[0].subject, "dinner.jpg");
+
+  // Re-running the system must not re-deliver.
+  for (int i = 0; i < 5; ++i) system.RunRound();
+  EXPECT_EQ(mail.InboxOf("jules@example.org").size(), 1u);
+}
+
+TEST(EmailWrapperTest, MultipleTuplesMultipleEmails) {
+  System system;
+  EmailService mail;
+  Peer* peer = system.CreatePeer("jules");
+  ASSERT_TRUE(system.AttachWrapper(std::make_unique<EmailWrapper>(
+      "jules", &mail, "jules@example.org")).ok());
+  for (int64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(peer->Insert(Fact("email", "jules",
+                                  {S("jules"), S("pic"), I(i), S("x")}))
+                    .ok());
+  }
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  EXPECT_EQ(mail.InboxOf("jules@example.org").size(), 4u);
+  EXPECT_EQ(mail.sent_count(), 4u);
+}
+
+}  // namespace
+}  // namespace wdl
