@@ -1,0 +1,56 @@
+# Bench harness (cmake -P script). Runs every bench binary with Google
+# Benchmark's JSON reporter and merges the per-binary reports into one
+# machine-readable baseline file.
+#
+# Arguments (via -D):
+#   BENCH_BINARIES  comma-separated list of bench executable paths
+#   OUTPUT          path of the merged JSON baseline to write
+#   MIN_TIME        --benchmark_min_time value in seconds (default 0.01)
+#
+# Output shape:
+#   { "schema": "wdl-bench-baseline-v1",
+#     "min_time": "<seconds>",
+#     "suites": { "<bench name>": <google-benchmark JSON report>, ... } }
+
+if(NOT DEFINED BENCH_BINARIES OR NOT DEFINED OUTPUT)
+  message(FATAL_ERROR "run_bench.cmake needs -DBENCH_BINARIES=... -DOUTPUT=...")
+endif()
+if(NOT DEFINED MIN_TIME)
+  set(MIN_TIME 0.01)
+endif()
+
+string(REPLACE "," ";" bench_list "${BENCH_BINARIES}")
+get_filename_component(out_dir "${OUTPUT}" DIRECTORY)
+
+set(suites "")
+foreach(bench_path IN LISTS bench_list)
+  get_filename_component(bench_name "${bench_path}" NAME_WE)
+  set(report "${out_dir}/${bench_name}.report.json")
+  message(STATUS "bench: running ${bench_name} (min_time=${MIN_TIME}s)")
+  execute_process(
+    COMMAND "${bench_path}"
+      "--benchmark_min_time=${MIN_TIME}"
+      "--benchmark_repetitions=1"
+      "--benchmark_out=${report}"
+      "--benchmark_out_format=json"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "bench ${bench_name} exited with ${rc}")
+  endif()
+  file(READ "${report}" report_json)
+  if(suites)
+    string(APPEND suites ",\n")
+  endif()
+  string(APPEND suites "    \"${bench_name}\": ${report_json}")
+endforeach()
+
+file(WRITE "${OUTPUT}" "{
+  \"schema\": \"wdl-bench-baseline-v1\",
+  \"min_time\": \"${MIN_TIME}\",
+  \"suites\": {
+${suites}
+  }
+}
+")
+message(STATUS "bench: wrote merged baseline to ${OUTPUT}")

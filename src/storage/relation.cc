@@ -48,7 +48,17 @@ void Relation::Clear() {
 }
 
 void Relation::ForEach(const std::function<void(const Tuple&)>& fn) const {
-  for (const Tuple& t : tuples_) fn(t);
+  // `fn` may insert into this very relation: recursive rules (e.g.
+  // same-generation) derive into a relation while joining against it,
+  // and an insert can rehash `tuples_`, invalidating live iterators.
+  // Snapshot node pointers first — nodes are stable across rehash, so
+  // the snapshot stays valid. Tuples inserted by `fn` are not visited
+  // (iteration-start semantics); removal during iteration stays
+  // unsupported.
+  std::vector<const Tuple*> snapshot;
+  snapshot.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) snapshot.push_back(&t);
+  for (const Tuple* t : snapshot) fn(*t);
 }
 
 void Relation::LookupEqual(size_t column, const Value& value,
@@ -63,20 +73,38 @@ void Relation::LookupEqual(size_t column, const Value& value,
     }
     it = indexes_.find(column);
   }
+  // Same hazard as ForEach: `fn` may insert into this relation, and
+  // IndexInsert then grows the multimap mid-iteration. Snapshot the
+  // matching tuple pointers before invoking the callback. This sits in
+  // the innermost join loop, so the common small result set stays on
+  // the stack; only oversized ranges pay for a heap spill.
   auto [begin, end] = it->second.equal_range(value.Hash());
+  constexpr size_t kInlineMatches = 16;
+  const Tuple* inline_buf[kInlineMatches];
+  size_t count = 0;
+  std::vector<const Tuple*> spill;
   for (auto entry = begin; entry != end; ++entry) {
     const Tuple& t = *entry->second;
     // Hash collisions are possible; confirm equality.
-    if (t[column] == value) fn(t);
+    if (t[column] != value) continue;
+    if (count < kInlineMatches) {
+      inline_buf[count++] = &t;
+    } else {
+      spill.push_back(&t);
+    }
   }
+  for (size_t i = 0; i < count; ++i) fn(*inline_buf[i]);
+  for (const Tuple* t : spill) fn(*t);
 }
 
 void Relation::ScanEqual(size_t column, const Value& value,
                          const std::function<void(const Tuple&)>& fn) const {
   if (column >= decl_.arity()) return;
+  std::vector<const Tuple*> matches;  // snapshot; see ForEach
   for (const Tuple& t : tuples_) {
-    if (t[column] == value) fn(t);
+    if (t[column] == value) matches.push_back(&t);
   }
+  for (const Tuple* t : matches) fn(*t);
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {

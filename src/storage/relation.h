@@ -50,11 +50,14 @@ class Relation {
   /// Drops all tuples (used for intensional relations at stage start).
   void Clear();
 
-  /// Invokes `fn` on every resident tuple, in unspecified order.
+  /// Invokes `fn` on every tuple resident at call time, in unspecified
+  /// order. `fn` may insert into this relation (new tuples are not
+  /// visited); it must not remove from it.
   void ForEach(const std::function<void(const Tuple&)>& fn) const;
 
   /// Invokes `fn` on tuples whose `column`-th value equals `value`,
-  /// using (and if needed building) a hash index on that column.
+  /// using (and if needed building) a hash index on that column. The
+  /// same callback contract as ForEach applies.
   void LookupEqual(size_t column, const Value& value,
                    const std::function<void(const Tuple&)>& fn);
 

@@ -4,14 +4,12 @@
 
 #include "parser/parser.h"
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Rule R(const std::string& text) {
-  Result<Rule> r = ParseRule(text);
-  EXPECT_TRUE(r.ok()) << r.status();
-  return r.ok() ? std::move(r).value() : Rule{};
-}
+using test::R;
 
 TEST(SafetyTest, AcceptsSimpleSafeRule) {
   EXPECT_TRUE(CheckRuleSafety(R("h@p($x) :- b@p($x)")).ok());

@@ -4,11 +4,13 @@
 #include "parser/parser.h"
 #include "runtime/system.h"
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Value I(int64_t v) { return Value::Int(v); }
-Value S(const std::string& v) { return Value::String(v); }
+using test::I;
+using test::S;
 
 TEST(DeletionParseTest, BareAndKeywordForms) {
   Result<Rule> bare = ParseRule("-junk@p($x) :- flagged@p($x)");

@@ -3,32 +3,16 @@
 #include <gtest/gtest.h>
 
 #include "parser/parser.h"
+#include "support/builders.h"
 
 namespace wdl {
 namespace {
 
-Value I(int64_t v) { return Value::Int(v); }
-Value S(const std::string& v) { return Value::String(v); }
-
-Program P(const std::string& text) {
-  Result<Program> p = ParseProgram(text);
-  EXPECT_TRUE(p.ok()) << p.status();
-  return p.ok() ? std::move(p).value() : Program{};
-}
-
-Rule R(const std::string& text) {
-  Result<Rule> r = ParseRule(text);
-  EXPECT_TRUE(r.ok()) << r.status();
-  return r.ok() ? std::move(r).value() : Rule{};
-}
-
-// Runs local stages until the engine settles (no network in these
-// tests, so only deferred self-updates keep it going).
-void Settle(Engine* e, int max_stages = 50) {
-  for (int i = 0; i < max_stages && e->HasPendingWork(); ++i) {
-    e->RunStage();
-  }
-}
+using test::I;
+using test::P;
+using test::R;
+using test::S;
+using test::Settle;
 
 TEST(EngineTest, TransitiveClosureLocalFixpoint) {
   Engine e("p");

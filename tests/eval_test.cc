@@ -4,17 +4,15 @@
 
 #include "parser/parser.h"
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Value I(int64_t v) { return Value::Int(v); }
-Value S(const std::string& v) { return Value::String(v); }
+using test::I;
+using test::S;
 
-Rule R(const std::string& text) {
-  Result<Rule> r = ParseRule(text);
-  EXPECT_TRUE(r.ok()) << r.status();
-  return r.ok() ? std::move(r).value() : Rule{};
-}
+using test::R;
 
 class EvalTest : public ::testing::Test {
  protected:

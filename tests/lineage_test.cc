@@ -5,14 +5,12 @@
 #include "acl/provenance_policy.h"
 #include "parser/parser.h"
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Rule R(const std::string& text) {
-  Result<Rule> r = ParseRule(text);
-  EXPECT_TRUE(r.ok()) << r.status();
-  return r.ok() ? std::move(r).value() : Rule{};
-}
+using test::R;
 
 TEST(LineageTest, DirectDependency) {
   LineageMap lineage = ComputeLineage({R("v@a($x) :- base@a($x)")});

@@ -2,11 +2,13 @@
 
 #include "runtime/system.h"
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Value I(int64_t v) { return Value::Int(v); }
-Value S(const std::string& v) { return Value::String(v); }
+using test::I;
+using test::S;
 
 // Distributed stratified negation: the extension the 2013 prototype
 // lacked, exercised across peer boundaries where the negated atom is

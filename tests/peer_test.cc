@@ -4,11 +4,13 @@
 
 #include "parser/parser.h"
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Value I(int64_t v) { return Value::Int(v); }
-Value S(const std::string& v) { return Value::String(v); }
+using test::I;
+using test::S;
 
 Envelope Env(const std::string& from, const std::string& to, Message m) {
   Envelope e;

@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Value I(int64_t v) { return Value::Int(v); }
-Value S(const std::string& v) { return Value::String(v); }
+using test::I;
+using test::S;
 
 class QueryTest : public ::testing::Test {
  protected:

@@ -3,11 +3,13 @@
 #include "storage/catalog.h"
 #include "storage/relation.h"
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Value I(int64_t v) { return Value::Int(v); }
-Value S(const std::string& v) { return Value::String(v); }
+using test::I;
+using test::S;
 
 RelationDecl Decl(const std::string& rel, const std::string& peer,
                   std::vector<ColumnSpec> cols,

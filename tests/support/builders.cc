@@ -1,0 +1,38 @@
+#include "support/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace wdl {
+namespace test {
+
+Value I(int64_t v) { return Value::Int(v); }
+Value S(const std::string& v) { return Value::String(v); }
+Value D(double v) { return Value::Double(v); }
+
+Program P(const std::string& text) {
+  Result<Program> p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status();
+  return p.ok() ? std::move(p).value() : Program{};
+}
+
+Rule R(const std::string& text) {
+  Result<Rule> r = ParseRule(text);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? std::move(r).value() : Rule{};
+}
+
+Fact F(const std::string& relation, const std::string& peer,
+       std::vector<Value> args) {
+  return Fact(relation, peer, std::move(args));
+}
+
+void Settle(Engine* engine, int max_stages) {
+  for (int i = 0; i < max_stages && engine->HasPendingWork(); ++i) {
+    engine->RunStage();
+  }
+}
+
+}  // namespace test
+}  // namespace wdl

@@ -1,0 +1,41 @@
+#ifndef WDL_TESTS_SUPPORT_BUILDERS_H_
+#define WDL_TESTS_SUPPORT_BUILDERS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/fact.h"
+#include "ast/program.h"
+#include "ast/rule.h"
+#include "ast/value.h"
+#include "engine/engine.h"
+
+namespace wdl {
+namespace test {
+
+/// Value shorthands shared by every test. `I(1)`, `S("a")`, `D(0.5)`
+/// instead of the Value::Int/String/Double ceremony.
+Value I(int64_t v);
+Value S(const std::string& v);
+Value D(double v);
+
+/// Parses a program / rule, recording a gtest failure (with the parser
+/// status) on error and returning an empty AST so the test keeps going
+/// to its own assertions.
+Program P(const std::string& text);
+Rule R(const std::string& text);
+
+/// Fact builder: F("edge", "alice", {I(1), I(2)}).
+Fact F(const std::string& relation, const std::string& peer,
+       std::vector<Value> args);
+
+/// Runs local stages until the engine settles (no network involved, so
+/// only deferred self-updates keep it going).
+void Settle(Engine* engine, int max_stages = 50);
+
+}  // namespace test
+}  // namespace wdl
+
+#endif  // WDL_TESTS_SUPPORT_BUILDERS_H_

@@ -1,0 +1,44 @@
+#include "support/counters.h"
+
+#include <sstream>
+
+namespace wdl {
+namespace test {
+
+NetworkCounters::NetworkCounters(const NetworkStats& stats)
+    : messages_submitted(stats.messages_submitted),
+      messages_delivered(stats.messages_delivered),
+      messages_dropped(stats.messages_dropped),
+      messages_partitioned(stats.messages_partitioned),
+      bytes_sent(stats.bytes_sent) {}
+
+NetworkCounters::NetworkCounters(const SimulatedNetwork& network)
+    : NetworkCounters(network.stats()) {}
+
+NetworkCounters NetworkCounters::operator-(
+    const NetworkCounters& earlier) const {
+  NetworkCounters d;
+  d.messages_submitted = messages_submitted - earlier.messages_submitted;
+  d.messages_delivered = messages_delivered - earlier.messages_delivered;
+  d.messages_dropped = messages_dropped - earlier.messages_dropped;
+  d.messages_partitioned = messages_partitioned - earlier.messages_partitioned;
+  d.bytes_sent = bytes_sent - earlier.bytes_sent;
+  return d;
+}
+
+std::string NetworkCounters::ToString() const {
+  std::ostringstream os;
+  os << "{submitted=" << messages_submitted
+     << " delivered=" << messages_delivered
+     << " dropped=" << messages_dropped
+     << " partitioned=" << messages_partitioned
+     << " bytes=" << bytes_sent << "}";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const NetworkCounters& c) {
+  return os << c.ToString();
+}
+
+}  // namespace test
+}  // namespace wdl

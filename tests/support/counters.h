@@ -1,0 +1,42 @@
+#ifndef WDL_TESTS_SUPPORT_COUNTERS_H_
+#define WDL_TESTS_SUPPORT_COUNTERS_H_
+
+#include <ostream>
+#include <string>
+
+#include "net/network.h"
+
+namespace wdl {
+namespace test {
+
+/// Snapshot of the simulated network's counters, with subtraction, so
+/// tests can assert on the traffic caused by one step instead of the
+/// cumulative totals since system construction:
+///
+///   NetworkCounters before(system.network());
+///   ... do the thing ...
+///   auto delta = NetworkCounters(system.network()) - before;
+///   EXPECT_EQ(delta.messages_submitted, 2u);
+struct NetworkCounters {
+  uint64_t messages_submitted = 0;
+  uint64_t messages_delivered = 0;
+  uint64_t messages_dropped = 0;
+  uint64_t messages_partitioned = 0;
+  uint64_t bytes_sent = 0;
+
+  NetworkCounters() = default;
+  explicit NetworkCounters(const NetworkStats& stats);
+  explicit NetworkCounters(const SimulatedNetwork& network);
+
+  NetworkCounters operator-(const NetworkCounters& earlier) const;
+  bool operator==(const NetworkCounters& other) const = default;
+
+  std::string ToString() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const NetworkCounters& c);
+
+}  // namespace test
+}  // namespace wdl
+
+#endif  // WDL_TESTS_SUPPORT_COUNTERS_H_

@@ -1,0 +1,40 @@
+#include "support/fixture.h"
+
+namespace wdl {
+namespace test {
+
+std::string GlobalStateFingerprint(const System& system) {
+  std::string fp;
+  for (const std::string& name : system.PeerNames()) {
+    const Peer* peer = system.GetPeer(name);
+    fp += "== " + name + "\n";
+    for (const std::string& rel : peer->engine().catalog().RelationNames()) {
+      fp += peer->RenderRelation(rel);
+    }
+    fp += peer->engine().ProgramListing();
+  }
+  return fp;
+}
+
+Peer* MultiPeerFixture::AddPeer(const std::string& name,
+                                PeerOptions options) {
+  return system_.CreatePeer(name, std::move(options));
+}
+
+std::vector<Peer*> MultiPeerFixture::AddTrustedPeers(
+    const std::vector<std::string>& names) {
+  std::vector<Peer*> peers;
+  peers.reserve(names.size());
+  for (const std::string& name : names) {
+    peers.push_back(AddPeer(name));
+  }
+  for (Peer* a : peers) {
+    for (const std::string& other : names) {
+      if (other != a->name()) a->gate().TrustPeer(other);
+    }
+  }
+  return peers;
+}
+
+}  // namespace test
+}  // namespace wdl

@@ -1,0 +1,37 @@
+#ifndef WDL_TESTS_SUPPORT_FIXTURE_H_
+#define WDL_TESTS_SUPPORT_FIXTURE_H_
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/system.h"
+
+namespace wdl {
+namespace test {
+
+/// Canonical rendering of every peer's relations and program listing.
+/// Two systems that converged to the same global state produce the
+/// same fingerprint regardless of how the network scheduled delivery.
+std::string GlobalStateFingerprint(const System& system);
+
+/// In-memory multi-peer network fixture: a System plus the peer setup
+/// boilerplate (creation, mutual trust, quiescence with asserted
+/// success) that the runtime tests otherwise re-clone.
+class MultiPeerFixture : public ::testing::Test {
+ protected:
+  /// Creates and registers a peer.
+  Peer* AddPeer(const std::string& name, PeerOptions options = {});
+
+  /// Creates the named peers and makes every pair trust each other's
+  /// delegations (skips the approval queue, like the engine tests do).
+  std::vector<Peer*> AddTrustedPeers(const std::vector<std::string>& names);
+
+  System system_;
+};
+
+}  // namespace test
+}  // namespace wdl
+
+#endif  // WDL_TESTS_SUPPORT_FIXTURE_H_

@@ -1,0 +1,54 @@
+#include "support/rng_check.h"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+
+namespace wdl {
+namespace test {
+namespace {
+
+// First four draws of Rng(kTestSeedBase). SplitMix64 is portable, so
+// these hold on every platform; a mismatch means the generator (or the
+// seed policy) changed and every recorded repro seed is stale.
+constexpr uint64_t kGolden[] = {
+    0x09f1fd9d03f0a9b4ULL,
+    0x553274161bbf8475ULL,
+    0x5d5bca4696b343b3ULL,
+    0x70d29b6c7d22528dULL,
+};
+
+}  // namespace
+
+uint64_t FixedTestSeed(uint64_t index) {
+  Rng rng(kTestSeedBase);
+  uint64_t seed = kTestSeedBase;
+  for (uint64_t i = 0; i <= index; ++i) seed = rng.Next();
+  return seed;
+}
+
+std::vector<uint64_t> FixedTestSeeds(size_t n) {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(n);
+  Rng rng(kTestSeedBase);
+  for (size_t i = 0; i < n; ++i) seeds.push_back(rng.Next());
+  return seeds;
+}
+
+bool CheckRngGoldenSequence() {
+  Rng rng(kTestSeedBase);
+  for (size_t i = 0; i < std::size(kGolden); ++i) {
+    uint64_t got = rng.Next();
+    if (got != kGolden[i]) {
+      ADD_FAILURE() << "RNG drifted from golden SplitMix64 sequence at draw "
+                    << i << ": got 0x" << std::hex << got << ", want 0x"
+                    << kGolden[i]
+                    << ". Recorded repro seeds are no longer meaningful.";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace test
+}  // namespace wdl

@@ -1,0 +1,38 @@
+#ifndef WDL_TESTS_SUPPORT_RNG_CHECK_H_
+#define WDL_TESTS_SUPPORT_RNG_CHECK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wdl {
+namespace test {
+
+/// Base seed for every randomized test in the suite. Fixed — never
+/// derived from time, GTEST_SHARD_INDEX, or GTEST_RANDOM_SEED — so a
+/// test case draws the same values whether it runs alone, in a full
+/// suite, or in any ctest shard, and a failure log names a seed that
+/// reproduces exactly.
+inline constexpr uint64_t kTestSeedBase = 0x5EED;
+
+/// The i-th derived test seed. Seeds are decorrelated by running the
+/// base through one SplitMix64 step per index, not by `base + i`,
+/// so adjacent cases don't share low-bit structure.
+uint64_t FixedTestSeed(uint64_t index);
+
+/// The first `n` derived seeds, for INSTANTIATE_TEST_SUITE_P lists.
+std::vector<uint64_t> FixedTestSeeds(size_t n);
+
+/// Verifies that wdl::Rng reproduces the golden SplitMix64 sequence
+/// for kTestSeedBase. Returns true and leaves gtest state untouched on
+/// success; records a fatal-level EXPECT failure naming the first
+/// divergent draw otherwise. Randomized suites call this up front: if
+/// the generator ever changes (platform quirk, accidental edit), the
+/// suite fails with "RNG drifted" instead of a cryptic property-test
+/// counterexample that no seed can reproduce.
+bool CheckRngGoldenSequence();
+
+}  // namespace test
+}  // namespace wdl
+
+#endif  // WDL_TESTS_SUPPORT_RNG_CHECK_H_

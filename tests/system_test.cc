@@ -3,22 +3,20 @@
 #include <gtest/gtest.h>
 
 #include "parser/parser.h"
+#include "support/builders.h"
+#include "support/counters.h"
+#include "support/fixture.h"
 
 namespace wdl {
 namespace {
 
-Fact F(const std::string& rel, const std::string& peer,
-       std::vector<Value> args) {
-  return Fact(rel, peer, std::move(args));
-}
+using test::F;
+using test::I;
+using test::S;
 
-Value S(const std::string& s) { return Value::String(s); }
-Value I(int64_t i) { return Value::Int(i); }
-
-class SystemTest : public ::testing::Test {
- protected:
-  System system_;
-};
+// The System plus peer/trust boilerplate lives in the shared fixture;
+// `system_` and the AddPeer/AddTrustedPeers helpers come from there.
+using SystemTest = test::MultiPeerFixture;
 
 TEST_F(SystemTest, SinglePeerLocalView) {
   Peer* p = system_.CreatePeer("alice");
@@ -60,11 +58,10 @@ TEST_F(SystemTest, DelegationInstallsResidualRuleAtRemotePeer) {
   // The paper's selection rule shape: jules asks each selected attendee
   // for their pictures. The second body atom lives at $attendee, so a
   // residual rule is delegated there.
-  Peer* jules = system_.CreatePeer("jules");
-  Peer* emilien = system_.CreatePeer("emilien");
-  // For this engine-level test, skip the approval queue.
-  jules->gate().TrustPeer("emilien");
-  emilien->gate().TrustPeer("jules");
+  // AddTrustedPeers skips the approval queue for this engine-level test.
+  auto peers = AddTrustedPeers({"jules", "emilien"});
+  Peer* jules = peers[0];
+  Peer* emilien = peers[1];
 
   ASSERT_TRUE(jules->LoadProgramText(R"(
     collection ext selectedAttendee@jules(attendee: string);
@@ -99,10 +96,9 @@ TEST_F(SystemTest, DelegationInstallsResidualRuleAtRemotePeer) {
 }
 
 TEST_F(SystemTest, NewFactsAtDelegateeFlowWithoutReDelegation) {
-  Peer* jules = system_.CreatePeer("jules");
-  Peer* emilien = system_.CreatePeer("emilien");
-  jules->gate().TrustPeer("emilien");
-  emilien->gate().TrustPeer("jules");
+  auto peers = AddTrustedPeers({"jules", "emilien"});
+  Peer* jules = peers[0];
+  Peer* emilien = peers[1];
 
   ASSERT_TRUE(jules->LoadProgramText(R"(
     collection ext selectedAttendee@jules(attendee: string);
@@ -129,10 +125,9 @@ TEST_F(SystemTest, NewFactsAtDelegateeFlowWithoutReDelegation) {
 }
 
 TEST_F(SystemTest, DeselectionRetractsDelegationAndClearsView) {
-  Peer* jules = system_.CreatePeer("jules");
-  Peer* emilien = system_.CreatePeer("emilien");
-  jules->gate().TrustPeer("emilien");
-  emilien->gate().TrustPeer("jules");
+  auto peers = AddTrustedPeers({"jules", "emilien"});
+  Peer* jules = peers[0];
+  Peer* emilien = peers[1];
 
   ASSERT_TRUE(jules->LoadProgramText(R"(
     collection ext selectedAttendee@jules(attendee: string);
@@ -164,14 +159,10 @@ TEST_F(SystemTest, DeselectionRetractsDelegationAndClearsView) {
 TEST_F(SystemTest, ChainedDelegationAcrossThreePeers) {
   // a's rule walks through b then c: delegation to b, then residual
   // delegation from b to c, with results flowing back to a.
-  Peer* a = system_.CreatePeer("a");
-  Peer* b = system_.CreatePeer("b");
-  Peer* c = system_.CreatePeer("c");
-  for (Peer* p : {a, b, c}) {
-    p->gate().TrustPeer("a");
-    p->gate().TrustPeer("b");
-    p->gate().TrustPeer("c");
-  }
+  auto peers = AddTrustedPeers({"a", "b", "c"});
+  Peer* a = peers[0];
+  Peer* b = peers[1];
+  Peer* c = peers[2];
   ASSERT_TRUE(a->LoadProgramText(R"(
     collection ext start@a(x: string);
     collection int out@a(x: string, y: string, z: string);
@@ -210,21 +201,20 @@ TEST_F(SystemTest, ChainedDelegationAcrossThreePeers) {
 }
 
 TEST_F(SystemTest, QuiescentSystemStopsSendingMessages) {
-  Peer* alice = system_.CreatePeer("alice");
-  Peer* bob = system_.CreatePeer("bob");
-  bob->gate().TrustPeer("alice");
-  alice->gate().TrustPeer("bob");
-  ASSERT_TRUE(alice->LoadProgramText(R"(
+  auto peers = AddTrustedPeers({"alice", "bob"});
+  ASSERT_TRUE(peers[0]->LoadProgramText(R"(
     collection ext data@alice(x: int);
     fact data@alice(1);
     rule mirror@bob($x) :- data@alice($x);
   )").ok());
   ASSERT_TRUE(system_.RunUntilQuiescent().ok());
 
-  uint64_t sent_before = system_.network().stats().messages_submitted;
+  test::NetworkCounters before(system_.network());
   // Ten more rounds must produce zero traffic.
   for (int i = 0; i < 10; ++i) system_.RunRound();
-  EXPECT_EQ(system_.network().stats().messages_submitted, sent_before);
+  test::NetworkCounters delta =
+      test::NetworkCounters(system_.network()) - before;
+  EXPECT_EQ(delta.messages_submitted, 0u) << delta;
 }
 
 TEST_F(SystemTest, UpdateRuleDefersLocalExtensionalInsertToNextStage) {

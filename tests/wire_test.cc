@@ -5,11 +5,13 @@
 #include "base/rng.h"
 #include "parser/parser.h"
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Value I(int64_t v) { return Value::Int(v); }
-Value S(const std::string& v) { return Value::String(v); }
+using test::I;
+using test::S;
 
 Envelope RoundTrip(const Envelope& e) {
   std::string bytes = EncodeEnvelope(e);

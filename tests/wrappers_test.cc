@@ -4,11 +4,13 @@
 #include "wrappers/email_wrapper.h"
 #include "wrappers/facebook_wrapper.h"
 
+#include "support/builders.h"
+
 namespace wdl {
 namespace {
 
-Value I(int64_t v) { return Value::Int(v); }
-Value S(const std::string& v) { return Value::String(v); }
+using test::I;
+using test::S;
 
 TEST(FacebookServiceTest, FriendshipsAreSymmetric) {
   FacebookService fb;
