@@ -32,6 +32,20 @@ void LoadChain(Engine* e, int n) {
   }
 }
 
+/// Plan-cache and access-path telemetry for the bench JSON: future perf
+/// PRs can attribute wins (index vs scan vs Δ-probe mix, cache reuse).
+void ExportEvalCounters(benchmark::State& state, const EvalCounters& c) {
+  state.counters["plans_compiled"] = static_cast<double>(c.plans_compiled);
+  state.counters["plan_cache_hits"] =
+      static_cast<double>(c.plan_cache_hits);
+  state.counters["slot_bindings"] = static_cast<double>(c.slot_bindings);
+  state.counters["index_lookups"] = static_cast<double>(c.index_lookups);
+  state.counters["full_scans"] = static_cast<double>(c.full_scans);
+  state.counters["delta_index_probes"] =
+      static_cast<double>(c.delta_index_probes);
+  state.counters["delta_scans"] = static_cast<double>(c.delta_scans);
+}
+
 void BM_TransitiveClosureChain(benchmark::State& state, EvalMode mode) {
   int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -51,6 +65,7 @@ void BM_TransitiveClosureChain(benchmark::State& state, EvalMode mode) {
     state.counters["iterations"] = r.stats.iterations;
     state.counters["tuples_examined"] =
         static_cast<double>(r.stats.tuples_examined);
+    ExportEvalCounters(state, e.eval_counters());
   }
 }
 
@@ -85,6 +100,7 @@ void BM_TcRandomGraph(benchmark::State& state, EvalMode mode) {
     benchmark::DoNotOptimize(r);
     state.counters["derived"] =
         static_cast<double>(e.catalog().Get("tc")->size());
+    ExportEvalCounters(state, e.eval_counters());
   }
 }
 
@@ -130,6 +146,7 @@ void BM_SameGeneration(benchmark::State& state, EvalMode mode) {
     benchmark::DoNotOptimize(r);
     state.counters["derived"] =
         static_cast<double>(e.catalog().Get("sg")->size());
+    ExportEvalCounters(state, e.eval_counters());
   }
 }
 

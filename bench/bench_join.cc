@@ -37,8 +37,21 @@ void JoinBench(benchmark::State& state, bool use_indexes) {
     benchmark::DoNotOptimize(results);
     state.counters["results"] = static_cast<double>(results);
   }
+  const EvalCounters& c = evaluator.counters();
   state.counters["tuples_examined"] = benchmark::Counter(
-      static_cast<double>(evaluator.counters().tuples_examined),
+      static_cast<double>(c.tuples_examined),
+      benchmark::Counter::kAvgIterations);
+  state.counters["plans_compiled"] = static_cast<double>(c.plans_compiled);
+  state.counters["plan_cache_hits"] =
+      static_cast<double>(c.plan_cache_hits);
+  state.counters["slot_bindings"] = benchmark::Counter(
+      static_cast<double>(c.slot_bindings),
+      benchmark::Counter::kAvgIterations);
+  state.counters["index_lookups"] = benchmark::Counter(
+      static_cast<double>(c.index_lookups),
+      benchmark::Counter::kAvgIterations);
+  state.counters["full_scans"] = benchmark::Counter(
+      static_cast<double>(c.full_scans),
       benchmark::Counter::kAvgIterations);
 }
 

@@ -53,7 +53,7 @@ std::string Value::ToString() const {
   return "?";
 }
 
-uint64_t Value::Hash() const {
+uint64_t Value::ComputeHash() const {
   uint64_t tag = static_cast<uint64_t>(kind());
   switch (kind()) {
     case ValueKind::kInt: {

@@ -62,9 +62,41 @@ class Value {
   std::string ToString() const;
 
   /// Stable 64-bit content hash (used in indexes and provenance ids).
-  uint64_t Hash() const;
+  /// Memoized on first use — values are immutable, and string/blob
+  /// payloads flow through TupleHasher and index probes far more often
+  /// than they are hashed, so the steady state is a plain load, while
+  /// construction-only paths (e.g. wire decode) never pay for hashing.
+  /// 0 marks "not yet computed"; a real hash of 0 is remapped to 1
+  /// (mutable cache is fine: values are per-peer, single-threaded).
+  uint64_t Hash() const {
+    uint64_t h = hash_;
+    if (h == 0) {
+      h = ComputeHash();
+      if (h == 0) h = 1;
+      hash_ = h;
+    }
+    return h;
+  }
 
-  bool operator==(const Value& o) const { return rep_ == o.rep_; }
+  /// Test-only: a copy of `v` whose cached hash is forced to `hash`.
+  /// Lets storage tests manufacture hash collisions between distinct
+  /// values (index keys and hash buckets collide, equality must still
+  /// discriminate) without hunting for real FNV-1a collisions.
+  static Value WithHashForTesting(Value v, uint64_t hash) {
+    v.hash_ = hash;
+    return v;
+  }
+
+  /// Equality first compares the content hashes: in join loops most
+  /// comparisons fail, and a differing hash proves inequality with one
+  /// integer compare — no variant dispatch, no byte scan. Join-loop
+  /// operands (stored tuples, plan constants) have their hash memoized
+  /// already, so Hash() is a load there. (Values with a test-forced
+  /// hash must carry consistent forced hashes on both sides of a
+  /// comparison.)
+  bool operator==(const Value& o) const {
+    return Hash() == o.Hash() && rep_ == o.rep_;
+  }
   bool operator!=(const Value& o) const { return !(*this == o); }
   /// Total order: by kind tag first, then by content. Gives relations a
   /// canonical sort for deterministic iteration and printing.
@@ -73,7 +105,9 @@ class Value {
  private:
   using Rep = std::variant<int64_t, double, std::string, Blob>;
   explicit Value(Rep rep) : rep_(std::move(rep)) {}
+  uint64_t ComputeHash() const;
   Rep rep_;
+  mutable uint64_t hash_ = 0;  // memoized Hash(); 0 = not yet computed
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Value& v) {

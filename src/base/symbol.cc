@@ -1,0 +1,74 @@
+#include "base/symbol.h"
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace wdl {
+namespace {
+
+struct Entry {
+  std::string text;
+  uint64_t hash;
+};
+
+// Append-only intern table. Entries live in a deque so the strings'
+// addresses are stable across growth; the lookup map keys are views
+// into those strings.
+struct Table {
+  std::mutex mu;
+  std::deque<Entry> entries;
+  std::unordered_map<std::string_view, uint32_t> ids;
+};
+
+Table& GlobalTable() {
+  static Table* table = new Table();  // leaked: symbols outlive everything
+  return *table;
+}
+
+const std::string& EmptyString() {
+  static const std::string* empty = new std::string();
+  return *empty;
+}
+
+}  // namespace
+
+Symbol Symbol::Intern(std::string_view text) {
+  Table& t = GlobalTable();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(text);
+  if (it != t.ids.end()) return Symbol(it->second);
+  uint32_t id = static_cast<uint32_t>(t.entries.size());
+  t.entries.push_back(Entry{std::string(text), HashString(text)});
+  t.ids.emplace(std::string_view(t.entries.back().text), id);
+  return Symbol(id);
+}
+
+Symbol Symbol::Find(std::string_view text) {
+  Table& t = GlobalTable();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(text);
+  return it == t.ids.end() ? Symbol() : Symbol(it->second);
+}
+
+size_t Symbol::TableSizeForTesting() {
+  Table& t = GlobalTable();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.entries.size();
+}
+
+const std::string& Symbol::str() const {
+  if (!valid()) return EmptyString();
+  Table& t = GlobalTable();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.entries[id_].text;
+}
+
+uint64_t Symbol::hash() const {
+  if (!valid()) return HashString(std::string_view());
+  Table& t = GlobalTable();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.entries[id_].hash;
+}
+
+}  // namespace wdl

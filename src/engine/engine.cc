@@ -20,7 +20,10 @@ uint64_t HashTupleSet(const std::unordered_set<Tuple, TupleHasher>& set) {
 Engine::Engine(std::string self_peer, EngineOptions options)
     : self_peer_(std::move(self_peer)),
       options_(options),
-      catalog_(self_peer_) {}
+      catalog_(self_peer_),
+      evaluator_(&catalog_, self_peer_,
+                 EvalOptions{options_.use_indexes,
+                             options_.use_compiled_plans}) {}
 
 Status Engine::LoadProgram(const Program& program) {
   WDL_RETURN_IF_ERROR(ValidateProgram(program, options_.dialect));
@@ -84,6 +87,7 @@ Result<uint64_t> Engine::AddRule(const Rule& rule) {
 Status Engine::RemoveRule(uint64_t id) {
   for (auto it = rules_.begin(); it != rules_.end(); ++it) {
     if (it->id == id) {
+      evaluator_.EvictPlan(it->rule);
       rules_.erase(it);
       dirty_ = true;
       return Status::OK();
@@ -117,7 +121,11 @@ void Engine::RetractDelegatedRule(uint64_t delegation_key) {
   dirty_ = true;
   rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
                               [&](const InstalledRule& ir) {
-                                return ir.delegation_key == delegation_key;
+                                if (ir.delegation_key != delegation_key) {
+                                  return false;
+                                }
+                                evaluator_.EvictPlan(ir.rule);
+                                return true;
                               }),
                rules_.end());
 }
@@ -306,20 +314,33 @@ void Engine::RunFixpoint(
   }
   stats->strata = strat.num_strata;
 
-  RuleEvaluator evaluator(&catalog_, self_peer_,
-                          EvalOptions{options_.use_indexes});
+  // The evaluator (and its plan cache) lives across stages; stage stats
+  // report the delta of its cumulative counters.
+  uint64_t tuples_before = evaluator_.counters().tuples_examined;
 
   for (int stratum = 0; stratum < strat.num_strata; ++stratum) {
-    std::vector<const Rule*> active;
+    // Resolve each active rule's compiled plan once per stage; the
+    // iteration loops below re-drive the plan directly instead of
+    // re-hashing the rule through the cache every call. `plan` stays
+    // null on the interpreter path.
+    struct ActiveRule {
+      const Rule* rule;
+      const RulePlan* plan;
+    };
+    std::vector<ActiveRule> active;
     for (size_t i = 0; i < rules_.size(); ++i) {
-      if (strat.rule_stratum[i] == stratum) active.push_back(&rules_[i].rule);
+      if (strat.rule_stratum[i] != stratum) continue;
+      const Rule& rule = rules_[i].rule;
+      active.push_back(ActiveRule{
+          &rule, options_.use_compiled_plans ? &evaluator_.PlanFor(rule)
+                                             : nullptr});
     }
     if (active.empty()) continue;
 
     DeltaMap delta;      // tuples new in the previous iteration
     DeltaMap next_delta; // tuples new in this iteration
 
-    // Set per Evaluate() call: whether the rule being evaluated is a
+    // Set per evaluation: whether the rule being evaluated is a
     // deletion rule (its head derivations remove instead of insert).
     bool current_rule_deletes = false;
 
@@ -340,7 +361,7 @@ void Engine::RunFixpoint(
       if (intensional) {
         Result<bool> r = rel->Insert(f.args);
         if (r.ok() && *r) {
-          next_delta[f.relation].insert(f.args);
+          next_delta[rel->symbol()].Insert(f.args);
           ++stats->local_derivations;
         }
       } else {
@@ -362,12 +383,18 @@ void Engine::RunFixpoint(
       delegations->emplace(d.Key(), d);
     };
 
+    auto evaluate = [&](const ActiveRule& ar, const DeltaMap* d, int pos) {
+      current_rule_deletes = ar.rule->head_deletes;
+      if (ar.plan != nullptr) {
+        evaluator_.EvaluatePlan(*ar.plan, d, pos, sinks);
+      } else {
+        evaluator_.Evaluate(*ar.rule, d, pos, sinks);
+      }
+    };
+
     // Iteration 1: full evaluation.
     int iterations = 1;
-    for (const Rule* rule : active) {
-      current_rule_deletes = rule->head_deletes;
-      evaluator.Evaluate(*rule, nullptr, -1, sinks);
-    }
+    for (const ActiveRule& ar : active) evaluate(ar, nullptr, -1);
 
     if (options_.mode == EvalMode::kNaive) {
       // Naive: re-run everything until no new local facts appear.
@@ -375,10 +402,7 @@ void Engine::RunFixpoint(
              iterations < options_.max_fixpoint_iterations) {
         next_delta.clear();
         ++iterations;
-        for (const Rule* rule : active) {
-          current_rule_deletes = rule->head_deletes;
-          evaluator.Evaluate(*rule, nullptr, -1, sinks);
-        }
+        for (const ActiveRule& ar : active) evaluate(ar, nullptr, -1);
       }
     } else {
       // Semi-naive: only join against the Δ of the previous iteration.
@@ -387,11 +411,10 @@ void Engine::RunFixpoint(
         delta = std::move(next_delta);
         next_delta = DeltaMap();
         ++iterations;
-        for (const Rule* rule : active) {
-          current_rule_deletes = rule->head_deletes;
-          for (size_t pos = 0; pos < rule->body.size(); ++pos) {
-            if (rule->body[pos].negated) continue;
-            evaluator.Evaluate(*rule, &delta, static_cast<int>(pos), sinks);
+        for (const ActiveRule& ar : active) {
+          for (size_t pos = 0; pos < ar.rule->body.size(); ++pos) {
+            if (ar.rule->body[pos].negated) continue;
+            evaluate(ar, &delta, static_cast<int>(pos));
           }
         }
       }
@@ -402,7 +425,8 @@ void Engine::RunFixpoint(
     }
     stats->iterations += iterations;
   }
-  stats->tuples_examined = evaluator.counters().tuples_examined;
+  stats->tuples_examined =
+      evaluator_.counters().tuples_examined - tuples_before;
 }
 
 uint64_t Engine::IntensionalContentHash() const {

@@ -30,6 +30,9 @@ enum class EvalMode : uint8_t {
 struct EngineOptions {
   EvalMode mode = EvalMode::kSemiNaive;
   bool use_indexes = true;
+  /// Compile rules to RulePlans (production) vs interpret the rule AST
+  /// (the seed semantics, kept as a differential-testing oracle).
+  bool use_compiled_plans = true;
   Dialect dialect = Dialect::kExtended;
   int max_fixpoint_iterations = 1 << 20;  // safety net; datalog terminates
 };
@@ -98,8 +101,14 @@ class Engine {
  public:
   explicit Engine(std::string self_peer, EngineOptions options = {});
 
+  // Neither copyable nor movable: evaluator_ holds &catalog_, so a
+  // moved Engine would evaluate against the moved-from catalog. (The
+  // deleted copy already suppressed implicit moves; spelling the move
+  // deletions out documents the self-reference.)
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  Engine(Engine&&) = delete;
+  Engine& operator=(Engine&&) = delete;
 
   const std::string& self_peer() const { return self_peer_; }
   Catalog& catalog() { return catalog_; }
@@ -143,6 +152,11 @@ class Engine {
   /// Active rules in installation order (stable ids).
   std::vector<const InstalledRule*> rules() const;
 
+  /// Evaluator telemetry accumulated across every stage this engine has
+  /// run: plan-cache behavior, access-path choices, join work. Benches
+  /// surface these in their JSON so perf work can attribute wins.
+  const EvalCounters& eval_counters() const { return evaluator_.counters(); }
+
   /// Human-readable program listing with provenance markers — the
   /// per-peer program view of the paper's Figure 3.
   std::string ProgramListing() const;
@@ -180,6 +194,9 @@ class Engine {
   std::string self_peer_;
   EngineOptions options_;
   Catalog catalog_;
+  // Owned across stages so the plan cache persists: a rule is compiled
+  // once per engine, not once per fixpoint.
+  RuleEvaluator evaluator_;
 
   std::vector<InstalledRule> rules_;
   uint64_t next_rule_id_ = 1;

@@ -48,9 +48,265 @@ bool SubstituteAtom(const Atom& atom, const Binding& binding, Atom* out) {
 
 void RuleEvaluator::Evaluate(const Rule& rule, const DeltaMap* delta,
                              int delta_pos, const Sinks& sinks) {
-  Binding binding;
-  MatchFrom(rule, 0, &binding, delta, delta_pos, sinks);
+  if (!options_.use_compiled_plans) {
+    Binding binding;
+    MatchFrom(rule, 0, &binding, delta, delta_pos, sinks);
+    return;
+  }
+  EvaluatePlan(PlanFor(rule), delta, delta_pos, sinks);
 }
+
+void RuleEvaluator::EvaluatePlan(const RulePlan& plan, const DeltaMap* delta,
+                                 int delta_pos, const Sinks& sinks) {
+  slots_.assign(plan.num_slots, nullptr);
+  ExecFrom(plan, 0, delta, delta_pos, sinks);
+}
+
+const RulePlan& RuleEvaluator::PlanFor(const Rule& rule) {
+  std::vector<std::unique_ptr<RulePlan>>& bucket = plans_[rule.Hash()];
+  for (const std::unique_ptr<RulePlan>& plan : bucket) {
+    if (plan->rule == rule) {
+      ++counters_.plan_cache_hits;
+      return *plan;
+    }
+  }
+  bucket.push_back(std::make_unique<RulePlan>(CompileRule(rule)));
+  ++counters_.plans_compiled;
+  return *bucket.back();
+}
+
+void RuleEvaluator::EvictPlan(const Rule& rule) {
+  auto it = plans_.find(rule.Hash());
+  if (it == plans_.end()) return;
+  std::vector<std::unique_ptr<RulePlan>>& bucket = it->second;
+  for (auto p = bucket.begin(); p != bucket.end(); ++p) {
+    if ((*p)->rule == rule) {
+      bucket.erase(p);
+      break;
+    }
+  }
+  if (bucket.empty()) plans_.erase(it);
+}
+
+// Unifies one stored tuple against the atom's compiled op sequence.
+// Bind ops store pointers into resident tuple storage — no Value copy,
+// no allocation. On failure, slots bound so far stay set; the caller
+// unconditionally nulls `atom.bound_slots` after the attempt.
+bool RuleEvaluator::UnifyTuple(const PlanAtom& atom, const Tuple& tuple) {
+  const PlanTerm* terms = atom.terms.data();
+  const size_t n = atom.terms.size();
+  for (size_t i = 0; i < n; ++i) {
+    const PlanTerm& pt = terms[i];
+    switch (pt.op) {
+      case PlanTerm::Op::kConst:
+        if (!(pt.value == tuple[i])) return false;
+        break;
+      case PlanTerm::Op::kCheck:
+        if (!(*slots_[pt.slot] == tuple[i])) return false;
+        break;
+      case PlanTerm::Op::kBind:
+        slots_[pt.slot] = &tuple[i];
+        break;
+    }
+  }
+  return true;
+}
+
+void RuleEvaluator::ExecFrom(const RulePlan& plan, size_t atom_index,
+                             const DeltaMap* delta, int delta_pos,
+                             const Sinks& sinks) {
+  if (atom_index == plan.atoms.size()) {
+    EmitHeadPlan(plan, sinks);
+    return;
+  }
+  const PlanAtom& atom = plan.atoms[atom_index];
+
+  // Resolve the atom's location. Constant names were interned at
+  // compile time; a variable name is read out of its slot. A slot that
+  // is unbound (unsafe rule) or holds a non-string value makes the
+  // branch dead, mirroring the interpreter's ResolveSym.
+  Symbol rel_sym;  // invalid when a variable name is not interned
+  if (atom.relation.is_const) {
+    rel_sym = atom.relation.sym;
+  } else {
+    const Value* v = slots_[atom.relation.slot];
+    if (v == nullptr || !v->is_string()) return;
+    // Find, not Intern: a data string that names nothing must neither
+    // match nor grow the symbol table.
+    rel_sym = Symbol::Find(v->AsString());
+  }
+
+  const std::string* remote_peer = nullptr;
+  if (atom.peer.is_const) {
+    if (atom.peer.sym != self_sym_) remote_peer = &atom.peer.text;
+  } else {
+    const Value* v = slots_[atom.peer.slot];
+    if (v == nullptr || !v->is_string()) return;
+    if (v->AsString() != self_peer_) remote_peer = &v->AsString();
+  }
+  if (remote_peer != nullptr) {
+    // Remote atom: delegate the residual rule to that peer.
+    EmitDelegationPlan(plan, atom_index, *remote_peer, sinks);
+    return;
+  }
+
+  Relation* relation = rel_sym.valid() ? catalog_->Get(rel_sym) : nullptr;
+
+  if (atom.negated) {
+    if (atom.negated_unbound) {
+      // Statically never ground; same diagnostic as the interpreter.
+      Atom substituted;
+      if (SubstituteCompiled(atom.relation, atom.peer, atom.terms,
+                             plan.rule.body[atom_index], slots_.data(),
+                             &substituted)) {
+        WDL_LOG(Error) << "negated atom not ground at evaluation time: "
+                       << substituted.ToString();
+      }
+      return;
+    }
+    // Safety guarantees every slot read here was bound by the prefix.
+    probe_scratch_.clear();
+    for (const PlanTerm& pt : atom.terms) {
+      probe_scratch_.push_back(pt.op == PlanTerm::Op::kConst
+                                   ? pt.value
+                                   : *slots_[pt.slot]);
+    }
+    ++counters_.negation_probes;
+    bool present = relation != nullptr &&
+                   probe_scratch_.size() == relation->arity() &&
+                   relation->Contains(probe_scratch_);
+    if (!present) {
+      ExecFrom(plan, atom_index + 1, delta, delta_pos, sinks);
+    }
+    return;
+  }
+
+  // Unify one stored tuple with the atom's compiled ops, recurse on
+  // success, then undo this atom's bindings. `visit` is passed to the
+  // storage layer as a template parameter — no std::function, and with
+  // the relation's reusable snapshot buffers the steady-state loop
+  // performs no per-tuple heap allocation.
+  auto visit = [&](const Tuple& tuple) {
+    ++counters_.tuples_examined;
+    if (UnifyTuple(atom, tuple)) {
+      counters_.slot_bindings += atom.bound_slots.size();
+      ExecFrom(plan, atom_index + 1, delta, delta_pos, sinks);
+    }
+    for (uint16_t s : atom.bound_slots) slots_[s] = nullptr;
+  };
+
+  // Semi-naive: this atom is restricted to the Δ of its relation. The
+  // compile-time access path applies here too — a bound key column
+  // probes the Δ's lazy index instead of scanning the whole set.
+  if (delta != nullptr && delta_pos == static_cast<int>(atom_index)) {
+    if (!rel_sym.valid()) return;  // never derived: empty Δ
+    auto it = delta->find(rel_sym);
+    if (it == delta->end()) return;
+    const DeltaSet& ds = it->second;
+    if (options_.use_indexes && atom.index_column >= 0) {
+      const Value& key = atom.index_key_is_const ? atom.index_const
+                                                 : *slots_[atom.index_slot];
+      ++counters_.delta_index_probes;
+      ds.LookupEqual(static_cast<size_t>(atom.index_column), key,
+                     [&](const Tuple& tuple) {
+                       if (tuple.size() == atom.terms.size()) visit(tuple);
+                     });
+      return;
+    }
+    ++counters_.delta_scans;
+    for (const Tuple& tuple : ds.tuples()) {
+      if (tuple.size() == atom.terms.size()) visit(tuple);
+    }
+    return;
+  }
+
+  if (relation == nullptr) return;  // empty: no matches
+  if (atom.terms.size() != relation->arity()) return;  // arity mismatch
+
+  // Access path was chosen at compile time: the first column whose key
+  // is known before the atom runs drives an index probe.
+  if (options_.use_indexes && atom.index_column >= 0) {
+    const Value& key = atom.index_key_is_const ? atom.index_const
+                                               : *slots_[atom.index_slot];
+    ++counters_.index_lookups;
+    relation->LookupEqual(static_cast<size_t>(atom.index_column), key,
+                          visit);
+    return;
+  }
+  ++counters_.full_scans;
+  relation->ForEach(visit);
+}
+
+void RuleEvaluator::EmitHeadPlan(const RulePlan& plan, const Sinks& sinks) {
+  const PlanHead& head = plan.head;
+  if (head.dead) return;  // unsafe rule: a head variable never binds
+
+  Fact& fact = fact_scratch_;
+  if (head.relation.is_const) {
+    fact.relation = head.relation.text;
+  } else {
+    const Value* v = slots_[head.relation.slot];
+    if (v == nullptr || !v->is_string()) return;  // non-string name: dead
+    fact.relation = v->AsString();
+  }
+  if (head.peer.is_const) {
+    fact.peer = head.peer.text;
+  } else {
+    const Value* v = slots_[head.peer.slot];
+    if (v == nullptr || !v->is_string()) return;
+    fact.peer = v->AsString();
+  }
+
+  fact.args.clear();
+  for (const PlanTerm& pt : head.terms) {
+    if (pt.op == PlanTerm::Op::kConst) {
+      fact.args.push_back(pt.value);
+    } else {
+      const Value* v = slots_[pt.slot];
+      if (v == nullptr) return;  // unreachable for safe rules
+      fact.args.push_back(*v);
+    }
+  }
+  ++counters_.bindings_completed;
+  if (fact.peer == self_peer_) {
+    if (sinks.on_local_fact) sinks.on_local_fact(fact);
+  } else {
+    if (sinks.on_remote_fact) sinks.on_remote_fact(fact);
+  }
+}
+
+void RuleEvaluator::EmitDelegationPlan(const RulePlan& plan,
+                                       size_t split_index,
+                                       const std::string& target,
+                                       const Sinks& sinks) {
+  Delegation d;
+  d.origin_peer = self_peer_;
+  d.target_peer = target;
+  d.origin_rule_hash = plan.rule_hash;
+  // The residual must keep the deletion flag: a split "-head :- body"
+  // still deletes when its head finally derives at the target.
+  d.rule.head_deletes = plan.rule.head_deletes;
+  if (!SubstituteCompiled(plan.head.relation, plan.head.peer,
+                          plan.head.terms, plan.rule.head, slots_.data(),
+                          &d.rule.head)) {
+    return;
+  }
+  d.rule.body.reserve(plan.atoms.size() - split_index);
+  for (size_t i = split_index; i < plan.atoms.size(); ++i) {
+    const PlanAtom& atom = plan.atoms[i];
+    Atom substituted;
+    if (!SubstituteCompiled(atom.relation, atom.peer, atom.terms,
+                            plan.rule.body[i], slots_.data(),
+                            &substituted)) {
+      return;
+    }
+    d.rule.body.push_back(std::move(substituted));
+  }
+  ++counters_.delegations_emitted;
+  if (sinks.on_delegation) sinks.on_delegation(d);
+}
+
+// --- AST interpreter (the seed semantics, kept as the oracle) ---------
 
 void RuleEvaluator::MatchFrom(const Rule& rule, size_t atom_index,
                               Binding* binding, const DeltaMap* delta,
@@ -127,9 +383,11 @@ void RuleEvaluator::MatchFrom(const Rule& rule, size_t atom_index,
 
   // Semi-naive: this atom is restricted to the Δ of its relation.
   if (delta != nullptr && delta_pos == static_cast<int>(atom_index)) {
-    auto it = delta->find(*rel);
+    Symbol rel_sym = Symbol::Find(*rel);
+    if (!rel_sym.valid()) return;  // never derived: empty Δ
+    auto it = delta->find(rel_sym);
     if (it == delta->end()) return;
-    for (const Tuple& tuple : it->second) {
+    for (const Tuple& tuple : it->second.tuples()) {
       if (tuple.size() == atom.args.size()) try_tuple(tuple);
     }
     return;
@@ -193,6 +451,8 @@ void RuleEvaluator::EmitDelegation(const Rule& rule, size_t split_index,
   d.origin_peer = self_peer_;
   d.target_peer = target;
   d.origin_rule_hash = rule.Hash();
+  // Keep the deletion flag on the residual (see EmitDelegationPlan).
+  d.rule.head_deletes = rule.head_deletes;
   if (!SubstituteAtom(rule.head, binding, &d.rule.head)) return;
   d.rule.body.reserve(rule.body.size() - split_index);
   for (size_t i = split_index; i < rule.body.size(); ++i) {

@@ -2,27 +2,99 @@
 #define WDL_ENGINE_EVAL_H_
 
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "ast/fact.h"
 #include "ast/rule.h"
+#include "base/symbol.h"
 #include "engine/binding.h"
 #include "engine/delegation.h"
+#include "engine/plan.h"
 #include "storage/catalog.h"
+#include "storage/hash_index.h"
 
 namespace wdl {
 
-/// Newly derived tuples per relation name in the previous fixpoint
-/// iteration — the Δ of semi-naive evaluation.
-using DeltaMap =
-    std::unordered_map<std::string, std::unordered_set<Tuple, TupleHasher>>;
+/// The Δ of one relation: tuples newly derived in the previous fixpoint
+/// iteration, with lazily built per-column hash indexes. A Δ-restricted
+/// atom whose access-path column is bound probes the index instead of
+/// scanning the whole set — the difference between O(|outer|·|Δ|) and
+/// O(|outer|) per iteration on bushy recursions like same-generation.
+///
+/// A DeltaSet is filled first (the engine inserts into the *next* Δ)
+/// and probed afterwards (as the *previous* Δ), never both at once, so
+/// probes iterate matches directly without snapshotting.
+class DeltaSet {
+ public:
+  bool Insert(Tuple t) {
+    auto [it, inserted] = tuples_.insert(std::move(t));
+    if (inserted && !indexes_.empty()) {
+      const Tuple* stored = &*it;
+      for (auto& [col, index] : indexes_) {
+        if (col < stored->size()) {
+          index.Insert((*stored)[col].Hash(), stored);
+        }
+      }
+    }
+    return inserted;
+  }
+
+  const std::unordered_set<Tuple, TupleHasher>& tuples() const {
+    return tuples_;
+  }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Invokes `fn` on tuples whose `column`-th value equals `value`
+  /// (tuples too short for the column never match). `fn` must not
+  /// mutate this DeltaSet.
+  template <typename Fn>
+  void LookupEqual(size_t column, const Value& value, Fn&& fn) const {
+    const HashIndex& index = EnsureIndex(column);
+    index.ForEachWithHash(value.Hash(), [&](const Tuple* t) {
+      // Hash collisions are possible; confirm equality.
+      if ((*t)[column] == value) fn(*t);
+    });
+  }
+
+ private:
+  const HashIndex& EnsureIndex(size_t column) const {
+    auto it = indexes_.find(column);
+    if (it == indexes_.end()) {
+      it = indexes_.emplace(column, HashIndex()).first;
+      it->second.Reserve(tuples_.size());
+      for (const Tuple& t : tuples_) {
+        if (column < t.size()) it->second.Insert(t[column].Hash(), &t);
+      }
+    }
+    return it->second;
+  }
+
+  std::unordered_set<Tuple, TupleHasher> tuples_;
+  mutable std::map<size_t, HashIndex> indexes_;
+};
+
+/// Newly derived tuples per relation in the previous fixpoint iteration
+/// — the Δ of semi-naive evaluation. Keyed by interned relation symbol:
+/// the per-iteration lookup in the join loop is an integer hash, not a
+/// string hash.
+using DeltaMap = std::unordered_map<Symbol, DeltaSet, SymbolHasher>;
 
 struct EvalOptions {
   /// When false, every atom match scans the full relation; used by the
   /// join ablation (bench_join) to quantify what the indexes buy.
   bool use_indexes = true;
+  /// When true (production), each rule is compiled once into a RulePlan
+  /// (slot bindings, interned symbols, static access paths) and the
+  /// plan is executed. When false, the rule AST is interpreted directly
+  /// — the seed semantics, kept as a differential-testing oracle (see
+  /// the plan/interpreter equivalence suite).
+  bool use_compiled_plans = true;
 };
 
 /// Per-evaluation counters (observability and bench instrumentation).
@@ -30,6 +102,16 @@ struct EvalCounters {
   uint64_t tuples_examined = 0;
   uint64_t bindings_completed = 0;
   uint64_t delegations_emitted = 0;
+  // Plan-cache and access-path telemetry (compiled path only), surfaced
+  // in the bench JSON so perf PRs can attribute wins.
+  uint64_t plans_compiled = 0;   // distinct rules compiled to plans
+  uint64_t plan_cache_hits = 0;  // Evaluate calls served by the cache
+  uint64_t slot_bindings = 0;    // slots bound during unification
+  uint64_t index_lookups = 0;    // atoms matched via a column-index probe
+  uint64_t full_scans = 0;       // atoms matched via a full relation scan
+  uint64_t delta_index_probes = 0;  // Δ-restricted atoms using the Δ index
+  uint64_t delta_scans = 0;         // Δ-restricted atoms scanning the Δ
+  uint64_t negation_probes = 0;  // ground negated-atom containment checks
 };
 
 /// Evaluates single rules against a peer's local catalog, left to right,
@@ -43,6 +125,15 @@ struct EvalCounters {
 ///  - hitting a body atom located at a *remote* peer stops local
 ///    evaluation and emits the residual rule as a Delegation
 ///    (`on_delegation`) — the paper's signature feature.
+///
+/// Two execution engines share these semantics: the compiled-plan path
+/// (production; zero heap allocation per tuple in the steady-state join
+/// loop) and the AST interpreter (oracle). Facts passed to sinks are
+/// reused scratch storage on the compiled path — copy them to keep
+/// them, as the engine does.
+///
+/// Not reentrant: sinks must not call back into Evaluate on the same
+/// evaluator (slot bindings and scratch buffers are instance state).
 class RuleEvaluator {
  public:
   struct Sinks {
@@ -54,6 +145,7 @@ class RuleEvaluator {
   RuleEvaluator(Catalog* catalog, std::string self_peer, EvalOptions options)
       : catalog_(catalog),
         self_peer_(std::move(self_peer)),
+        self_sym_(Symbol::Intern(self_peer_)),
         options_(options) {}
 
   /// Evaluates `rule`. When `delta` is non-null and `delta_pos >= 0`,
@@ -64,10 +156,35 @@ class RuleEvaluator {
   void Evaluate(const Rule& rule, const DeltaMap* delta, int delta_pos,
                 const Sinks& sinks);
 
+  /// Evaluates an already-compiled plan, skipping the cache lookup.
+  /// The fixpoint loop resolves each rule's plan once per stage and
+  /// re-drives it across iterations and Δ-positions through this.
+  void EvaluatePlan(const RulePlan& plan, const DeltaMap* delta,
+                    int delta_pos, const Sinks& sinks);
+
+  /// The compiled plan for `rule`, from the cache (compiling on miss).
+  /// The reference stays valid until the plan is evicted.
+  const RulePlan& PlanFor(const Rule& rule);
+
+  /// Drops the cached plan for `rule`, if any. Called when a rule is
+  /// removed or a delegation retracted, so one-off rules (ad-hoc query
+  /// scratch rules, churning residuals) don't accumulate plans for the
+  /// evaluator's lifetime.
+  void EvictPlan(const Rule& rule);
+
   const EvalCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = EvalCounters(); }
 
  private:
+  // --- compiled-plan execution ---------------------------------------
+  void ExecFrom(const RulePlan& plan, size_t atom_index,
+                const DeltaMap* delta, int delta_pos, const Sinks& sinks);
+  bool UnifyTuple(const PlanAtom& atom, const Tuple& tuple);
+  void EmitHeadPlan(const RulePlan& plan, const Sinks& sinks);
+  void EmitDelegationPlan(const RulePlan& plan, size_t split_index,
+                          const std::string& target, const Sinks& sinks);
+
+  // --- AST interpreter (differential-testing oracle) -----------------
   void MatchFrom(const Rule& rule, size_t atom_index, Binding* binding,
                  const DeltaMap* delta, int delta_pos, const Sinks& sinks);
   void EmitHead(const Rule& rule, const Binding& binding,
@@ -78,8 +195,20 @@ class RuleEvaluator {
 
   Catalog* catalog_;
   std::string self_peer_;
+  Symbol self_sym_;
   EvalOptions options_;
   EvalCounters counters_;
+
+  // Plan cache, keyed by rule content hash; the per-hash vector guards
+  // against hash collisions (entries verify full rule equality).
+  std::unordered_map<uint64_t, std::vector<std::unique_ptr<RulePlan>>>
+      plans_;
+
+  // Reusable execution scratch (capacity persists across Evaluate
+  // calls; steady state performs no heap allocation).
+  std::vector<const Value*> slots_;  // slot -> bound value, or nullptr
+  Tuple probe_scratch_;              // ground negation probe
+  Fact fact_scratch_;                // head emission
 };
 
 /// Resolves a relation/peer term under `binding`. Returns nullptr when

@@ -1,0 +1,206 @@
+#include "engine/plan.h"
+
+#include <unordered_map>
+
+namespace wdl {
+namespace {
+
+/// Compile-time state: variable -> slot numbering plus which slots are
+/// statically bound. Left-to-right evaluation binds exactly the same
+/// slots on every path that reaches atom k, so boundness before an atom
+/// is a static property of the rule, not of the data.
+struct Compiler {
+  RulePlan* plan;
+  std::unordered_map<std::string, uint16_t> slot_of;
+  std::vector<bool> bound;
+
+  uint16_t SlotFor(const std::string& var) {
+    auto [it, inserted] =
+        slot_of.try_emplace(var, static_cast<uint16_t>(plan->slot_vars.size()));
+    if (inserted) {
+      plan->slot_vars.push_back(var);
+      bound.push_back(false);
+    }
+    return it->second;
+  }
+
+  PlanSym CompileSym(const SymTerm& sym) {
+    if (sym.is_name()) return PlanSym::Const(Symbol::Intern(sym.name()));
+    return PlanSym::Slot(SlotFor(sym.var()));
+  }
+};
+
+}  // namespace
+
+RulePlan CompileRule(const Rule& rule) {
+  RulePlan plan;
+  plan.rule = rule;
+  plan.rule_hash = rule.Hash();
+  Compiler c{&plan, {}, {}};
+
+  plan.atoms.reserve(rule.body.size());
+  for (const Atom& atom : rule.body) {
+    PlanAtom pa;
+    pa.relation = c.CompileSym(atom.relation);
+    pa.peer = c.CompileSym(atom.peer);
+    pa.negated = atom.negated;
+
+    // Snapshot of boundness before this atom: in-atom binds (repeated
+    // variables) satisfy later positions of the same atom but cannot
+    // seed its access path — the key must exist before the tuple loop
+    // starts, exactly like the interpreter's per-call probe choice.
+    std::vector<bool> bound_before = c.bound;
+
+    pa.terms.reserve(atom.args.size());
+    for (size_t j = 0; j < atom.args.size(); ++j) {
+      const Term& t = atom.args[j];
+      if (t.is_constant()) {
+        if (pa.index_column < 0) {
+          pa.index_column = static_cast<int>(j);
+          pa.index_key_is_const = true;
+          pa.index_const = t.value();
+        }
+        pa.terms.push_back(PlanTerm::Const(t.value()));
+        continue;
+      }
+      uint16_t s = c.SlotFor(t.var());
+      if (c.bound[s]) {
+        if (pa.index_column < 0 && s < bound_before.size() &&
+            bound_before[s]) {
+          pa.index_column = static_cast<int>(j);
+          pa.index_key_is_const = false;
+          pa.index_slot = s;
+        }
+        pa.terms.push_back(PlanTerm::Check(s));
+      } else if (atom.negated) {
+        // Negated atoms never bind; a variable that reaches one unbound
+        // can never become ground — statically dead branch.
+        pa.negated_unbound = true;
+        pa.terms.push_back(PlanTerm::Check(s));
+      } else {
+        c.bound[s] = true;
+        pa.bound_slots.push_back(s);
+        pa.terms.push_back(PlanTerm::Bind(s));
+      }
+    }
+    plan.atoms.push_back(std::move(pa));
+  }
+
+  plan.head.relation = c.CompileSym(rule.head.relation);
+  plan.head.peer = c.CompileSym(rule.head.peer);
+  plan.head.terms.reserve(rule.head.args.size());
+  for (const Term& t : rule.head.args) {
+    if (t.is_constant()) {
+      plan.head.terms.push_back(PlanTerm::Const(t.value()));
+      continue;
+    }
+    uint16_t s = c.SlotFor(t.var());
+    if (!c.bound[s]) plan.head.dead = true;
+    plan.head.terms.push_back(PlanTerm::Check(s));
+  }
+  if (!plan.head.relation.is_const && !c.bound[plan.head.relation.slot]) {
+    plan.head.dead = true;
+  }
+  if (!plan.head.peer.is_const && !c.bound[plan.head.peer.slot]) {
+    plan.head.dead = true;
+  }
+
+  plan.num_slots = static_cast<uint16_t>(plan.slot_vars.size());
+  return plan;
+}
+
+bool SubstituteCompiled(const PlanSym& rel, const PlanSym& peer,
+                        const std::vector<PlanTerm>& terms, const Atom& src,
+                        const Value* const* slots, Atom* out) {
+  auto sub_sym = [&](const PlanSym& ps, const SymTerm& src_sym,
+                     SymTerm* dst) {
+    if (ps.is_const) {
+      *dst = src_sym;
+      return true;
+    }
+    const Value* v = slots[ps.slot];
+    if (v == nullptr) {
+      *dst = src_sym;  // unbound: variable stays
+      return true;
+    }
+    if (!v->is_string()) return false;
+    *dst = SymTerm::Name(v->AsString());
+    return true;
+  };
+
+  Atom result;
+  result.negated = src.negated;
+  if (!sub_sym(rel, src.relation, &result.relation)) return false;
+  if (!sub_sym(peer, src.peer, &result.peer)) return false;
+  result.args.reserve(terms.size());
+  for (size_t j = 0; j < terms.size(); ++j) {
+    const PlanTerm& pt = terms[j];
+    if (pt.op == PlanTerm::Op::kConst) {
+      result.args.push_back(src.args[j]);
+      continue;
+    }
+    const Value* v = slots[pt.slot];
+    result.args.push_back(v != nullptr ? Term::Constant(*v) : src.args[j]);
+  }
+  *out = std::move(result);
+  return true;
+}
+
+std::string RulePlan::DebugString() const {
+  std::string out = "plan for: " + rule.ToString() + "\n";
+  out += "slots:";
+  for (size_t s = 0; s < slot_vars.size(); ++s) {
+    out += " " + std::to_string(s) + "=$" + slot_vars[s];
+  }
+  out += "\n";
+
+  auto sym_str = [](const PlanSym& ps) {
+    return ps.is_const ? ps.sym.str() : "s" + std::to_string(ps.slot);
+  };
+  auto ops_str = [](const std::vector<PlanTerm>& terms) {
+    std::string s = "[";
+    for (size_t j = 0; j < terms.size(); ++j) {
+      if (j > 0) s += ", ";
+      const PlanTerm& pt = terms[j];
+      switch (pt.op) {
+        case PlanTerm::Op::kConst:
+          s += "const " + pt.value.ToString();
+          break;
+        case PlanTerm::Op::kCheck:
+          s += "check s" + std::to_string(pt.slot);
+          break;
+        case PlanTerm::Op::kBind:
+          s += "bind s" + std::to_string(pt.slot);
+          break;
+      }
+    }
+    return s + "]";
+  };
+
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const PlanAtom& a = atoms[i];
+    out += "atom " + std::to_string(i) + ": ";
+    if (a.negated) out += "not ";
+    out += sym_str(a.relation) + "@" + sym_str(a.peer);
+    out += " ops=" + ops_str(a.terms);
+    if (a.negated) {
+      out += a.negated_unbound ? " probe=never-ground" : " probe=contains";
+    } else if (a.index_column >= 0) {
+      out += " access=index col " + std::to_string(a.index_column) +
+             (a.index_key_is_const
+                  ? " key=" + a.index_const.ToString()
+                  : " key=s" + std::to_string(a.index_slot));
+    } else {
+      out += " access=scan";
+    }
+    out += "\n";
+  }
+
+  out += "head: " + sym_str(head.relation) + "@" + sym_str(head.peer) +
+         " ops=" + ops_str(head.terms);
+  if (head.dead) out += " (dead: unbound head variable)";
+  out += "\n";
+  return out;
+}
+
+}  // namespace wdl

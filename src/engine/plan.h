@@ -1,0 +1,162 @@
+#ifndef WDL_ENGINE_PLAN_H_
+#define WDL_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ast/rule.h"
+#include "base/symbol.h"
+
+namespace wdl {
+
+/// Compiled rule plans (DESIGN.md §4). A Rule is compiled once, at
+/// install time, into a RulePlan that the evaluator executes directly:
+///
+///  - every variable is numbered into a dense *slot*, so the runtime
+///    binding is a flat array of `const Value*` (O(1) indexed access,
+///    no name comparison, no value copies — slots point at resident
+///    tuple storage);
+///  - constant relation/peer names are pre-resolved to interned Symbols
+///    (integer compare against the evaluating peer, O(1) catalog and
+///    Δ-set lookup by id);
+///  - each atom's unification is a fixed op sequence (compare-constant,
+///    compare-slot, bind-slot), and its access path — which column can
+///    drive an index probe — is chosen at compile time, because
+///    left-to-right evaluation makes "which slots are bound before atom
+///    k" a static property.
+///
+/// Plans are immutable once compiled and self-contained (they own a
+/// copy of the source rule, from which delegation residuals are
+/// substituted). They are peer-agnostic: the same plan is valid for any
+/// evaluating peer; remoteness of an atom is an id compare at runtime.
+
+/// One argument position of a compiled atom.
+struct PlanTerm {
+  enum class Op : uint8_t {
+    kConst,  // tuple value must equal `value`
+    kCheck,  // tuple value must equal the value bound in `slot`
+    kBind,   // first occurrence: bind `slot` to the tuple's value
+  };
+
+  static PlanTerm Const(Value v) {
+    PlanTerm t;
+    t.op = Op::kConst;
+    t.value = std::move(v);
+    return t;
+  }
+  static PlanTerm Check(uint16_t slot) {
+    PlanTerm t;
+    t.op = Op::kCheck;
+    t.slot = slot;
+    return t;
+  }
+  static PlanTerm Bind(uint16_t slot) {
+    PlanTerm t;
+    t.op = Op::kBind;
+    t.slot = slot;
+    return t;
+  }
+
+  Op op = Op::kConst;
+  uint16_t slot = 0;  // kCheck/kBind
+  Value value;        // kConst
+};
+
+/// A relation- or peer-position reference: a pre-interned constant name
+/// or a slot holding the (string) name at runtime. The constant's text
+/// is duplicated into the plan so hot paths (head emission, remoteness
+/// checks) never touch the symbol table's lock.
+struct PlanSym {
+  bool is_const = true;
+  Symbol sym;         // is_const
+  std::string text;   // is_const: == sym.str()
+  uint16_t slot = 0;  // !is_const
+
+  static PlanSym Const(Symbol s) {
+    PlanSym p;
+    p.is_const = true;
+    p.sym = s;
+    p.text = s.str();
+    return p;
+  }
+  static PlanSym Slot(uint16_t slot) {
+    PlanSym p;
+    p.is_const = false;
+    p.slot = slot;
+    return p;
+  }
+};
+
+/// One compiled body atom.
+struct PlanAtom {
+  PlanSym relation;
+  PlanSym peer;
+  bool negated = false;
+  /// Statically detected dead branch: a negated atom containing a
+  /// variable no positive atom can ever bind is never ground at
+  /// evaluation time (the interpreter discovers this per binding and
+  /// logs; the plan knows it up front).
+  bool negated_unbound = false;
+
+  std::vector<PlanTerm> terms;
+  /// Slots this atom's kBind ops fill — nulled after the atom's match
+  /// loop returns (the entire backtracking "trail").
+  std::vector<uint16_t> bound_slots;
+
+  /// Access path: the first column whose key value is known before the
+  /// atom runs (a constant, or a slot bound by an earlier atom) drives
+  /// an index probe; -1 means full scan. Chosen at compile time.
+  int index_column = -1;
+  bool index_key_is_const = false;
+  Value index_const;       // index_key_is_const
+  uint16_t index_slot = 0; // !index_key_is_const
+};
+
+/// The compiled head: same shape as an atom minus matching concerns.
+struct PlanHead {
+  PlanSym relation;
+  PlanSym peer;
+  std::vector<PlanTerm> terms;  // kConst / kCheck only (heads never bind)
+  /// True when a head variable (argument, relation, or peer position)
+  /// can never be bound by the body — every emission would fail its
+  /// runtime unbound check, so emission is skipped entirely. Only
+  /// unsafe rules compile to dead heads; residual delegation still
+  /// substitutes whatever is bound.
+  bool dead = false;
+};
+
+/// A fully compiled rule.
+struct RulePlan {
+  Rule rule;  // owned source; delegation residuals substitute from it
+  uint64_t rule_hash = 0;  // rule.Hash(), precomputed
+  PlanHead head;
+  std::vector<PlanAtom> atoms;
+  uint16_t num_slots = 0;
+  std::vector<std::string> slot_vars;  // slot -> variable name
+
+  /// Human-readable plan listing (slots, per-atom ops and access path);
+  /// for tests and diagnostics.
+  std::string DebugString() const;
+};
+
+/// Compiles `rule` into an executable plan. Never fails: rules that
+/// safety analysis would reject compile to plans whose dead branches
+/// mirror the interpreter's runtime checks (unbound head -> no
+/// emission, never-ground negation -> logged dead branch).
+RulePlan CompileRule(const Rule& rule);
+
+/// Applies the current slot bindings to `src` (the source atom the
+/// compiled `rel`/`peer`/`terms` were built from): bound slots become
+/// constants (string bindings in sym position become names), unbound
+/// variables stay. Returns false when a sym-position slot holds a
+/// non-string value — such a residual cannot name a relation or peer.
+/// Used for delegation residuals; equivalent to SubstituteAtom on the
+/// interpreter path.
+bool SubstituteCompiled(const PlanSym& rel, const PlanSym& peer,
+                        const std::vector<PlanTerm>& terms, const Atom& src,
+                        const Value* const* slots, Atom* out);
+
+}  // namespace wdl
+
+#endif  // WDL_ENGINE_PLAN_H_

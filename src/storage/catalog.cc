@@ -18,7 +18,10 @@ Status Catalog::Declare(const RelationDecl& decl) {
         "relation " + decl.PredicateId() +
         " already declared with a different schema");
   }
-  relations_.emplace(decl.relation, std::make_unique<Relation>(decl));
+  auto inserted =
+      relations_.emplace(decl.relation, std::make_unique<Relation>(decl));
+  Relation* rel = inserted.first->second.get();
+  by_symbol_[rel->symbol().id()] = rel;
   return Status::OK();
 }
 

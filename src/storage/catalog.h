@@ -4,11 +4,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ast/fact.h"
 #include "ast/program.h"
 #include "base/result.h"
+#include "base/symbol.h"
 #include "storage/relation.h"
 
 namespace wdl {
@@ -45,6 +47,19 @@ class Catalog {
   Relation* Get(const std::string& relation);
   const Relation* Get(const std::string& relation) const;
 
+  /// Symbol-id lookup: O(1) integer hash, no string comparison. Every
+  /// declared relation's name is interned at Declare time, so compiled
+  /// rule plans resolve atoms by id in the join loop (DESIGN.md §4).
+  /// nullptr when undeclared (or `sym` is invalid).
+  Relation* Get(Symbol sym) {
+    auto it = by_symbol_.find(sym.id());
+    return it == by_symbol_.end() ? nullptr : it->second;
+  }
+  const Relation* Get(Symbol sym) const {
+    auto it = by_symbol_.find(sym.id());
+    return it == by_symbol_.end() ? nullptr : it->second;
+  }
+
   /// Inserts a fact located at this peer, auto-declaring if allowed.
   /// Returns true when the tuple was new.
   Result<bool> InsertFact(const Fact& fact);
@@ -68,6 +83,9 @@ class Catalog {
   std::string owner_peer_;
   bool auto_declare_;
   std::map<std::string, std::unique_ptr<Relation>> relations_;
+  // Interned-name index over relations_ (same lifetime; never erased —
+  // the catalog only grows).
+  std::unordered_map<uint32_t, Relation*> by_symbol_;
 };
 
 }  // namespace wdl

@@ -29,7 +29,10 @@ Status Relation::CheckTuple(const Tuple& tuple) const {
 Result<bool> Relation::Insert(Tuple tuple) {
   WDL_RETURN_IF_ERROR(CheckTuple(tuple));
   auto [it, inserted] = tuples_.insert(std::move(tuple));
-  if (inserted && !indexes_.empty()) IndexInsert(&*it);
+  if (inserted) {
+    ++version_;
+    if (!indexes_.empty()) IndexInsert(&*it);
+  }
   return inserted;
 }
 
@@ -39,72 +42,26 @@ Result<bool> Relation::Remove(const Tuple& tuple) {
   if (it == tuples_.end()) return false;
   if (!indexes_.empty()) IndexRemove(&*it);
   tuples_.erase(it);
+  ++version_;
   return true;
 }
 
 void Relation::Clear() {
+  if (!tuples_.empty()) ++version_;
   tuples_.clear();
-  for (auto& [col, index] : indexes_) index.clear();
+  for (auto& [col, index] : indexes_) index.Clear();
 }
 
-void Relation::ForEach(const std::function<void(const Tuple&)>& fn) const {
-  // `fn` may insert into this very relation: recursive rules (e.g.
-  // same-generation) derive into a relation while joining against it,
-  // and an insert can rehash `tuples_`, invalidating live iterators.
-  // Snapshot node pointers first — nodes are stable across rehash, so
-  // the snapshot stays valid. Tuples inserted by `fn` are not visited
-  // (iteration-start semantics); removal during iteration stays
-  // unsupported.
-  std::vector<const Tuple*> snapshot;
-  snapshot.reserve(tuples_.size());
-  for (const Tuple& t : tuples_) snapshot.push_back(&t);
-  for (const Tuple* t : snapshot) fn(*t);
-}
-
-void Relation::LookupEqual(size_t column, const Value& value,
-                           const std::function<void(const Tuple&)>& fn) {
-  if (column >= decl_.arity()) return;
+const HashIndex& Relation::EnsureIndex(size_t column) {
   auto it = indexes_.find(column);
   if (it == indexes_.end()) {
-    // Build the index on first use.
-    auto& index = indexes_[column];
+    it = indexes_.emplace(column, HashIndex()).first;
+    it->second.Reserve(tuples_.size());
     for (const Tuple& t : tuples_) {
-      index.emplace(t[column].Hash(), &t);
-    }
-    it = indexes_.find(column);
-  }
-  // Same hazard as ForEach: `fn` may insert into this relation, and
-  // IndexInsert then grows the multimap mid-iteration. Snapshot the
-  // matching tuple pointers before invoking the callback. This sits in
-  // the innermost join loop, so the common small result set stays on
-  // the stack; only oversized ranges pay for a heap spill.
-  auto [begin, end] = it->second.equal_range(value.Hash());
-  constexpr size_t kInlineMatches = 16;
-  const Tuple* inline_buf[kInlineMatches];
-  size_t count = 0;
-  std::vector<const Tuple*> spill;
-  for (auto entry = begin; entry != end; ++entry) {
-    const Tuple& t = *entry->second;
-    // Hash collisions are possible; confirm equality.
-    if (t[column] != value) continue;
-    if (count < kInlineMatches) {
-      inline_buf[count++] = &t;
-    } else {
-      spill.push_back(&t);
+      it->second.Insert(t[column].Hash(), &t);
     }
   }
-  for (size_t i = 0; i < count; ++i) fn(*inline_buf[i]);
-  for (const Tuple* t : spill) fn(*t);
-}
-
-void Relation::ScanEqual(size_t column, const Value& value,
-                         const std::function<void(const Tuple&)>& fn) const {
-  if (column >= decl_.arity()) return;
-  std::vector<const Tuple*> matches;  // snapshot; see ForEach
-  for (const Tuple& t : tuples_) {
-    if (t[column] == value) matches.push_back(&t);
-  }
-  for (const Tuple* t : matches) fn(*t);
+  return it->second;
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {
@@ -115,19 +72,13 @@ std::vector<Tuple> Relation::SortedTuples() const {
 
 void Relation::IndexInsert(const Tuple* stored) {
   for (auto& [col, index] : indexes_) {
-    index.emplace((*stored)[col].Hash(), stored);
+    index.Insert((*stored)[col].Hash(), stored);
   }
 }
 
 void Relation::IndexRemove(const Tuple* stored) {
   for (auto& [col, index] : indexes_) {
-    auto [begin, end] = index.equal_range((*stored)[col].Hash());
-    for (auto it = begin; it != end; ++it) {
-      if (it->second == stored) {
-        index.erase(it);
-        break;
-      }
-    }
+    index.Remove((*stored)[col].Hash(), stored);
   }
 }
 

@@ -5,6 +5,7 @@
 #include "base/rng.h"
 #include "base/status.h"
 #include "base/string_util.h"
+#include "base/symbol.h"
 
 namespace wdl {
 namespace {
@@ -153,6 +154,33 @@ TEST(RngTest, NextBoolEdgeCases) {
   int heads = 0;
   for (int i = 0; i < 10000; ++i) heads += rng.NextBool(0.5);
   EXPECT_NEAR(heads / 10000.0, 0.5, 0.03);
+}
+
+TEST(SymbolTest, InternIsIdempotentAndIdentityComparable) {
+  Symbol a = Symbol::Intern("base_test_sym_a");
+  Symbol b = Symbol::Intern("base_test_sym_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Symbol::Intern("base_test_sym_a"));
+  EXPECT_EQ(a.str(), "base_test_sym_a");
+  EXPECT_EQ(a.hash(), HashString("base_test_sym_a"));
+  EXPECT_TRUE(a.valid());
+}
+
+TEST(SymbolTest, FindDoesNotGrowTheTable) {
+  size_t before = Symbol::TableSizeForTesting();
+  Symbol missing = Symbol::Find("base_test_never_interned");
+  EXPECT_FALSE(missing.valid());
+  EXPECT_EQ(missing.str(), "");
+  EXPECT_EQ(Symbol::TableSizeForTesting(), before);
+  Symbol::Intern("base_test_now_interned");
+  EXPECT_TRUE(Symbol::Find("base_test_now_interned").valid());
+}
+
+TEST(SymbolTest, InvalidSymbolIsDistinctAndStable) {
+  Symbol invalid;
+  EXPECT_FALSE(invalid.valid());
+  EXPECT_EQ(invalid, Symbol());
+  EXPECT_NE(invalid, Symbol::Intern("base_test_sym_a"));
 }
 
 TEST(RngTest, NextInRangeInclusive) {

@@ -81,6 +81,21 @@ TEST(DeterminismTest, Paper2013DialectRunsTheFullDemo) {
   EXPECT_TRUE(app.facebook().GroupHasPicture(kFacebookGroup, 1));
 }
 
+TEST(DeterminismTest, CompiledPlansMatchInterpreterOracle) {
+  // The compiled-plan executor against the seed AST interpreter over
+  // the full distributed workload — delegation splits, ACL gating,
+  // wrappers, deferred updates. The converged global state must be
+  // identical (see also the per-program goldens in plan_test).
+  WepicOptions interpreter_options;
+  interpreter_options.engine.use_compiled_plans = false;
+  WepicApp interpreted(interpreter_options);
+  WepicApp compiled;  // default engine options: compiled plans
+  RunWorkload(interpreted);
+  RunWorkload(compiled);
+  EXPECT_EQ(GlobalStateFingerprint(interpreted),
+            GlobalStateFingerprint(compiled));
+}
+
 TEST(DeterminismTest, NaiveModeReachesSameGlobalState) {
   WepicOptions naive_options;
   naive_options.engine.mode = EvalMode::kNaive;

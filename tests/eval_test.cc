@@ -163,7 +163,7 @@ TEST_F(EvalTest, DeltaRestrictionLimitsMatches) {
   Insert("b", {I(2)});
   Insert("b", {I(3)});
   DeltaMap delta;
-  delta["b"].insert(Tuple{I(2)});
+  delta[Symbol::Intern("b")].Insert(Tuple{I(2)});
   Collected c = Run(R("h@p($x) :- b@p($x)"), &delta, 0);
   ASSERT_EQ(c.local.size(), 1u);
   EXPECT_EQ(c.local[0].args[0], I(2));

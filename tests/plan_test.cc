@@ -1,0 +1,359 @@
+#include "engine/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/eval.h"
+#include "parser/parser.h"
+#include "storage/tuple.h"
+
+#include "support/builders.h"
+
+namespace wdl {
+namespace {
+
+using test::I;
+using test::R;
+using test::S;
+
+// --- Plan shape: slots, op sequences, compile-time access paths -------
+
+TEST(CompileRuleTest, SlotsAreNumberedDenselyInFirstOccurrenceOrder) {
+  RulePlan plan = CompileRule(R("h@p($x, $z) :- e@p($x, $y), e@p($y, $z)"));
+  ASSERT_EQ(plan.num_slots, 3u);
+  EXPECT_EQ(plan.slot_vars, (std::vector<std::string>{"x", "y", "z"}));
+
+  ASSERT_EQ(plan.atoms.size(), 2u);
+  const PlanAtom& a0 = plan.atoms[0];
+  ASSERT_EQ(a0.terms.size(), 2u);
+  EXPECT_EQ(a0.terms[0].op, PlanTerm::Op::kBind);
+  EXPECT_EQ(a0.terms[0].slot, 0);
+  EXPECT_EQ(a0.terms[1].op, PlanTerm::Op::kBind);
+  EXPECT_EQ(a0.terms[1].slot, 1);
+  EXPECT_EQ(a0.bound_slots, (std::vector<uint16_t>{0, 1}));
+  // Nothing bound before the first atom: full scan.
+  EXPECT_EQ(a0.index_column, -1);
+
+  const PlanAtom& a1 = plan.atoms[1];
+  EXPECT_EQ(a1.terms[0].op, PlanTerm::Op::kCheck);
+  EXPECT_EQ(a1.terms[0].slot, 1);
+  EXPECT_EQ(a1.terms[1].op, PlanTerm::Op::kBind);
+  EXPECT_EQ(a1.terms[1].slot, 2);
+  // $y is bound by atom 0, so column 0 drives an index probe.
+  EXPECT_EQ(a1.index_column, 0);
+  EXPECT_FALSE(a1.index_key_is_const);
+  EXPECT_EQ(a1.index_slot, 1);
+
+  ASSERT_EQ(plan.head.terms.size(), 2u);
+  EXPECT_EQ(plan.head.terms[0].op, PlanTerm::Op::kCheck);
+  EXPECT_EQ(plan.head.terms[0].slot, 0);
+  EXPECT_EQ(plan.head.terms[1].slot, 2);
+  EXPECT_FALSE(plan.head.dead);
+  EXPECT_TRUE(plan.head.relation.is_const);
+  EXPECT_EQ(plan.head.relation.sym, Symbol::Intern("h"));
+}
+
+TEST(CompileRuleTest, ConstantArgumentDrivesIndexColumn) {
+  RulePlan plan = CompileRule(R("h@p($x) :- e@p(3, $x)"));
+  const PlanAtom& a = plan.atoms[0];
+  EXPECT_EQ(a.index_column, 0);
+  EXPECT_TRUE(a.index_key_is_const);
+  EXPECT_EQ(a.index_const, I(3));
+}
+
+TEST(CompileRuleTest, RepeatedVariableWithinAtomChecksButCannotKey) {
+  // $x's first occurrence is position 0 of this very atom: position 1
+  // is a check, but the access path cannot use an in-atom binding.
+  RulePlan plan = CompileRule(R("h@p($x) :- b@p($x, $x)"));
+  const PlanAtom& a = plan.atoms[0];
+  EXPECT_EQ(a.terms[0].op, PlanTerm::Op::kBind);
+  EXPECT_EQ(a.terms[1].op, PlanTerm::Op::kCheck);
+  EXPECT_EQ(a.index_column, -1);
+}
+
+TEST(CompileRuleTest, RelationAndPeerVariablesCompileToSlots) {
+  RulePlan plan = CompileRule(R("h@p($x) :- names@p($r), $r@p($x)"));
+  EXPECT_TRUE(plan.atoms[0].relation.is_const);
+  EXPECT_FALSE(plan.atoms[1].relation.is_const);
+  EXPECT_EQ(plan.slot_vars[plan.atoms[1].relation.slot], "r");
+  EXPECT_TRUE(plan.atoms[1].peer.is_const);
+}
+
+TEST(CompileRuleTest, NegatedAtomNeverBindsAndDetectsUnboundStatically) {
+  RulePlan bound = CompileRule(R("h@p($x) :- all@p($x), not ban@p($x)"));
+  EXPECT_TRUE(bound.atoms[1].negated);
+  EXPECT_FALSE(bound.atoms[1].negated_unbound);
+  EXPECT_TRUE(bound.atoms[1].bound_slots.empty());
+  EXPECT_EQ(bound.atoms[1].terms[0].op, PlanTerm::Op::kCheck);
+
+  // $y can never be bound: the negation is statically never ground.
+  RulePlan unbound = CompileRule(R("h@p($x) :- all@p($x), not ban@p($y)"));
+  EXPECT_TRUE(unbound.atoms[1].negated_unbound);
+}
+
+TEST(CompileRuleTest, UnboundHeadVariableMarksHeadDead) {
+  RulePlan plan = CompileRule(R("h@p($q) :- b@p($x)"));
+  EXPECT_TRUE(plan.head.dead);
+  EXPECT_FALSE(CompileRule(R("h@p($x) :- b@p($x)")).head.dead);
+}
+
+TEST(CompileRuleTest, DebugStringDescribesSlotsAndAccessPath) {
+  RulePlan plan = CompileRule(R("h@p($x, $z) :- e@p($x, $y), e@p($y, $z)"));
+  std::string s = plan.DebugString();
+  EXPECT_NE(s.find("slots: 0=$x 1=$y 2=$z"), std::string::npos) << s;
+  EXPECT_NE(s.find("access=scan"), std::string::npos) << s;
+  EXPECT_NE(s.find("access=index col 0 key=s1"), std::string::npos) << s;
+}
+
+// --- Plan cache -------------------------------------------------------
+
+TEST(PlanCacheTest, CompilesOncePerRuleAndCountsHits) {
+  Catalog catalog("p");
+  (void)catalog.InsertFact(Fact("b", "p", {I(1)}));
+  RuleEvaluator evaluator(&catalog, "p", EvalOptions{});
+  RuleEvaluator::Sinks sinks;
+  sinks.on_local_fact = [](const Fact&) {};
+
+  Rule rule = R("h@p($x) :- b@p($x)");
+  evaluator.Evaluate(rule, nullptr, -1, sinks);
+  evaluator.Evaluate(rule, nullptr, -1, sinks);
+  evaluator.Evaluate(rule, nullptr, -1, sinks);
+  EXPECT_EQ(evaluator.counters().plans_compiled, 1u);
+  EXPECT_EQ(evaluator.counters().plan_cache_hits, 2u);
+
+  evaluator.Evaluate(R("h2@p($x) :- b@p($x)"), nullptr, -1, sinks);
+  EXPECT_EQ(evaluator.counters().plans_compiled, 2u);
+}
+
+TEST(PlanCacheTest, EvictedPlansRecompileAndDoNotAccumulate) {
+  Catalog catalog("p");
+  RuleEvaluator evaluator(&catalog, "p", EvalOptions{});
+  Rule rule = R("h@p($x) :- b@p($x)");
+  (void)evaluator.PlanFor(rule);
+  evaluator.EvictPlan(rule);
+  (void)evaluator.PlanFor(rule);  // must compile again, not hit the cache
+  EXPECT_EQ(evaluator.counters().plans_compiled, 2u);
+  EXPECT_EQ(evaluator.counters().plan_cache_hits, 0u);
+  evaluator.EvictPlan(rule);
+  evaluator.EvictPlan(rule);  // idempotent
+  evaluator.EvictPlan(R("never@p($x) :- cached@p($x)"));  // absent: no-op
+}
+
+TEST(PlanCacheTest, EngineEvictsPlansForRemovedRules) {
+  // One-off rules (ad-hoc queries, retracted delegations) must not
+  // accumulate plans in the engine-lifetime cache: re-adding after
+  // removal recompiles instead of hitting a stale entry.
+  Engine engine("p");
+  (void)engine.DeclareRelation(RelationDecl{
+      "b", "p", RelationKind::kExtensional, {{"x", ValueKind::kInt}}});
+  Rule rule = R("h@p($x) :- b@p($x)");
+  Result<uint64_t> id = engine.AddRule(rule);
+  ASSERT_TRUE(id.ok());
+  (void)engine.RunStage();
+  EXPECT_EQ(engine.eval_counters().plans_compiled, 1u);
+  ASSERT_TRUE(engine.RemoveRule(*id).ok());
+  (void)engine.AddRule(rule);
+  (void)engine.RunStage();
+  EXPECT_EQ(engine.eval_counters().plans_compiled, 2u);
+}
+
+TEST(PlanCacheTest, AccessPathCountersAttributeTheWork) {
+  Catalog catalog("p");
+  for (int64_t i = 0; i < 10; ++i) {
+    (void)catalog.InsertFact(Fact("e", "p", {I(i), I(i + 1)}));
+  }
+  RuleEvaluator evaluator(&catalog, "p", EvalOptions{});
+  RuleEvaluator::Sinks sinks;
+  sinks.on_local_fact = [](const Fact&) {};
+  evaluator.Evaluate(R("h@p($x, $z) :- e@p($x, $y), e@p($y, $z)"),
+                     nullptr, -1, sinks);
+  // Atom 0 scans once; atom 1 probes the index once per outer tuple.
+  EXPECT_EQ(evaluator.counters().full_scans, 1u);
+  EXPECT_EQ(evaluator.counters().index_lookups, 10u);
+  EXPECT_GT(evaluator.counters().slot_bindings, 0u);
+}
+
+// --- Plan/interpreter equivalence (golden) ----------------------------
+
+// Runs `program_text` to quiescence on a fresh engine and renders every
+// relation's sorted contents. The compiled-plan and interpreter paths
+// must produce byte-identical renderings.
+std::string FixpointFingerprint(const std::string& program_text,
+                                bool use_compiled_plans,
+                                int stages = 10) {
+  EngineOptions options;
+  options.use_compiled_plans = use_compiled_plans;
+  Engine engine("p", options);
+  Result<Program> program = ParseProgram(program_text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  Status loaded = engine.LoadProgram(*program);
+  EXPECT_TRUE(loaded.ok()) << loaded;
+  for (int i = 0; i < stages && engine.HasPendingWork(); ++i) {
+    (void)engine.RunStage();
+  }
+  std::string out;
+  for (const std::string& name : engine.catalog().RelationNames()) {
+    out += name + ":";
+    for (const Tuple& t : engine.catalog().Get(name)->SortedTuples()) {
+      out += " " + TupleToString(t);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void ExpectModesAgree(const std::string& program_text) {
+  std::string compiled = FixpointFingerprint(program_text, true);
+  std::string interpreted = FixpointFingerprint(program_text, false);
+  EXPECT_EQ(compiled, interpreted) << program_text;
+  EXPECT_FALSE(compiled.empty());
+}
+
+TEST(PlanEquivalenceTest, TransitiveClosure) {
+  ExpectModesAgree(
+      "collection ext edge@p(x: int, y: int);"
+      "collection int tc@p(x: int, y: int);"
+      "fact edge@p(1, 2); fact edge@p(2, 3); fact edge@p(3, 4);"
+      "fact edge@p(4, 2);"
+      "rule tc@p($x, $y) :- edge@p($x, $y);"
+      "rule tc@p($x, $z) :- tc@p($x, $y), edge@p($y, $z);");
+}
+
+TEST(PlanEquivalenceTest, StratifiedNegation) {
+  ExpectModesAgree(
+      "collection ext all@p(x: int);"
+      "collection ext banned@p(x: int);"
+      "collection int ok@p(x: int);"
+      "fact all@p(1); fact all@p(2); fact all@p(3);"
+      "fact banned@p(2);"
+      "rule ok@p($x) :- all@p($x), not banned@p($x);");
+}
+
+TEST(PlanEquivalenceTest, DeletionRules) {
+  ExpectModesAgree(
+      "collection ext pending@p(x: int);"
+      "collection ext done@p(x: int);"
+      "fact pending@p(1); fact pending@p(2); fact pending@p(3);"
+      "fact done@p(2);"
+      "rule -pending@p($x) :- done@p($x), pending@p($x);");
+}
+
+TEST(PlanEquivalenceTest, RelationVariables) {
+  ExpectModesAgree(
+      "collection ext names@p(r: string);"
+      "collection ext data1@p(x: int);"
+      "collection ext data2@p(x: int);"
+      "collection int gathered@p(x: int);"
+      "fact names@p(\"data1\"); fact names@p(\"data2\");"
+      "fact data1@p(10); fact data2@p(20);"
+      "rule gathered@p($x) :- names@p($r), $r@p($x);");
+}
+
+TEST(PlanEquivalenceTest, MixedConstantsAndRepeatedVariables) {
+  ExpectModesAgree(
+      "collection ext b@p(x: int, y: int, tag: string);"
+      "collection int h@p(x: int);"
+      "fact b@p(1, 1, \"keep\"); fact b@p(1, 2, \"keep\");"
+      "fact b@p(2, 2, \"drop\"); fact b@p(3, 3, \"keep\");"
+      "rule h@p($x) :- b@p($x, $x, \"keep\");");
+}
+
+TEST(PlanEquivalenceTest, DelegationSplitsMatchInterpreter) {
+  // A remote body atom stops local evaluation; the residual rules (one
+  // per prefix binding) must be identical in both modes.
+  auto collect = [](bool use_compiled) {
+    Catalog catalog("p");
+    (void)catalog.InsertFact(Fact("sel", "p", {S("alice")}));
+    (void)catalog.InsertFact(Fact("sel", "p", {S("bob")}));
+    (void)catalog.InsertFact(Fact("kind", "p", {S("pictures")}));
+    EvalOptions options;
+    options.use_compiled_plans = use_compiled;
+    RuleEvaluator evaluator(&catalog, "p", options);
+    std::multiset<std::string> delegations;
+    RuleEvaluator::Sinks sinks;
+    sinks.on_delegation = [&](const Delegation& d) {
+      delegations.insert(d.ToString() + "#" +
+                         std::to_string(d.Key()));
+    };
+    evaluator.Evaluate(
+        R("h@p($x) :- sel@p($a), kind@p($r), $r@$a($x, $a)"),
+        nullptr, -1, sinks);
+    return delegations;
+  };
+  std::multiset<std::string> compiled = collect(true);
+  EXPECT_EQ(compiled.size(), 2u);
+  EXPECT_EQ(compiled, collect(false));
+}
+
+TEST(PlanEquivalenceTest, DelegatedDeletionRulesKeepTheDeletionFlag) {
+  // "-head :- body" split at a remote atom must still delete when the
+  // residual's head derives at the target (the flag travels the wire;
+  // dropping it silently turns deletion into insertion).
+  for (bool use_compiled : {true, false}) {
+    Catalog catalog("p");
+    (void)catalog.InsertFact(Fact("sel", "p", {S("q")}));
+    EvalOptions options;
+    options.use_compiled_plans = use_compiled;
+    RuleEvaluator evaluator(&catalog, "p", options);
+    std::vector<Delegation> delegations;
+    RuleEvaluator::Sinks sinks;
+    sinks.on_delegation = [&](const Delegation& d) {
+      delegations.push_back(d);
+    };
+    evaluator.Evaluate(R("-pending@p($x) :- sel@p($a), trig@$a($x)"),
+                       nullptr, -1, sinks);
+    ASSERT_EQ(delegations.size(), 1u) << "compiled=" << use_compiled;
+    EXPECT_TRUE(delegations[0].rule.head_deletes)
+        << "compiled=" << use_compiled;
+    EXPECT_EQ(delegations[0].target_peer, "q");
+  }
+}
+
+TEST(PlanEquivalenceTest, RemoteHeadsMatchInterpreter) {
+  auto collect = [](bool use_compiled) {
+    Catalog catalog("p");
+    (void)catalog.InsertFact(Fact("b", "p", {I(7)}));
+    EvalOptions options;
+    options.use_compiled_plans = use_compiled;
+    RuleEvaluator evaluator(&catalog, "p", options);
+    std::multiset<std::string> remote;
+    RuleEvaluator::Sinks sinks;
+    sinks.on_remote_fact = [&](const Fact& f) {
+      remote.insert(f.ToString());
+    };
+    evaluator.Evaluate(R("h@q($x) :- b@p($x)"), nullptr, -1, sinks);
+    return remote;
+  };
+  std::multiset<std::string> compiled = collect(true);
+  EXPECT_EQ(compiled.size(), 1u);
+  EXPECT_EQ(compiled, collect(false));
+}
+
+TEST(PlanEquivalenceTest, SemiNaiveAndNaiveModesAgreeUnderPlans) {
+  const char* kProgram =
+      "collection ext edge@p(x: int, y: int);"
+      "collection int tc@p(x: int, y: int);"
+      "fact edge@p(1, 2); fact edge@p(2, 3); fact edge@p(3, 1);"
+      "rule tc@p($x, $y) :- edge@p($x, $y);"
+      "rule tc@p($x, $z) :- tc@p($x, $y), edge@p($y, $z);";
+  auto run = [&](EvalMode mode) {
+    EngineOptions options;
+    options.mode = mode;
+    Engine engine("p", options);
+    (void)engine.LoadProgram(*ParseProgram(kProgram));
+    (void)engine.RunStage();
+    std::string out;
+    for (const Tuple& t : engine.catalog().Get("tc")->SortedTuples()) {
+      out += TupleToString(t);
+    }
+    return out;
+  };
+  EXPECT_EQ(run(EvalMode::kSemiNaive), run(EvalMode::kNaive));
+}
+
+}  // namespace
+}  // namespace wdl

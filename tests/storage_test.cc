@@ -237,5 +237,129 @@ TEST_P(RelationSweepTest, AllTuplesFindableByEveryColumn) {
 INSTANTIATE_TEST_SUITE_P(Sizes, RelationSweepTest,
                          ::testing::Values(1, 2, 16, 100, 1000));
 
+// The column indexes (and the tuple set itself) are keyed by value
+// *hash* only; distinct values may collide. Forced-equal hashes drive
+// both values into the same index chain and hash bucket, and every
+// lookup path must still discriminate by equality. (Forced hashes must
+// be consistent on both sides of any comparison — see Value::Hash.)
+TEST(RelationTest, HashCollidingValuesNeverCrossMatch) {
+  const uint64_t kSharedHash = 0x1234567890abcdefull;
+  Value alpha = Value::WithHashForTesting(S("alpha"), kSharedHash);
+  Value beta = Value::WithHashForTesting(S("beta"), kSharedHash);
+  ASSERT_EQ(alpha.Hash(), beta.Hash());
+  ASSERT_FALSE(alpha == beta);
+
+  Relation r(Decl("r", "p",
+                  {{"k", ValueKind::kString}, {"v", ValueKind::kInt}}));
+  ASSERT_TRUE(*r.Insert({alpha, I(1)}));
+  ASSERT_TRUE(*r.Insert({beta, I(2)}));
+  EXPECT_EQ(r.size(), 2u);
+
+  // Indexed lookup on the colliding column surfaces only exact matches.
+  std::vector<Tuple> hits;
+  r.LookupEqual(0, alpha, [&](const Tuple& t) { hits.push_back(t); });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0][1], I(1));
+  hits.clear();
+  r.LookupEqual(0, beta, [&](const Tuple& t) { hits.push_back(t); });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0][1], I(2));
+
+  // Scan path agrees.
+  hits.clear();
+  r.ScanEqual(0, alpha, [&](const Tuple& t) { hits.push_back(t); });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0][1], I(1));
+
+  // Containment discriminates within the shared hash bucket.
+  EXPECT_TRUE(r.Contains({alpha, I(1)}));
+  EXPECT_TRUE(r.Contains({beta, I(2)}));
+  EXPECT_FALSE(r.Contains({alpha, I(2)}));
+
+  // Removing one colliding tuple must not disturb the other's index
+  // chain entry.
+  ASSERT_TRUE(*r.Remove({alpha, I(1)}));
+  hits.clear();
+  r.LookupEqual(0, beta, [&](const Tuple& t) { hits.push_back(t); });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0][1], I(2));
+  hits.clear();
+  r.LookupEqual(0, alpha, [&](const Tuple& t) { hits.push_back(t); });
+  EXPECT_TRUE(hits.empty());
+}
+
+// HashIndex itself: chains per hash key, removal unlinks exactly one
+// entry, and entry storage is recycled across remove/insert cycles.
+TEST(HashIndexTest, ChainsRemoveAndRecycle) {
+  // Backing tuples; the index stores pointers.
+  std::vector<Tuple> tuples;
+  tuples.reserve(300);
+  for (int64_t i = 0; i < 300; ++i) tuples.push_back({I(i)});
+
+  HashIndex index;
+  for (int i = 0; i < 200; ++i) {
+    index.Insert(static_cast<uint64_t>(i % 50), &tuples[i]);  // 4-long chains
+  }
+  size_t count = 0;
+  index.ForEachWithHash(7, [&](const Tuple*) { ++count; });
+  EXPECT_EQ(count, 4u);
+  index.ForEachWithHash(777, [&](const Tuple*) { FAIL(); });
+
+  index.Remove(7, &tuples[7]);
+  count = 0;
+  bool saw_removed = false;
+  index.ForEachWithHash(7, [&](const Tuple* t) {
+    ++count;
+    saw_removed |= t == &tuples[7];
+  });
+  EXPECT_EQ(count, 3u);
+  EXPECT_FALSE(saw_removed);
+
+  // Empty a whole chain, then reuse its key.
+  for (int i : {3, 53, 103, 153}) index.Remove(3, &tuples[i]);
+  index.ForEachWithHash(3, [&](const Tuple*) { FAIL(); });
+  index.Insert(3, &tuples[250]);
+  count = 0;
+  index.ForEachWithHash(3, [&](const Tuple* t) {
+    ++count;
+    EXPECT_EQ(t, &tuples[250]);
+  });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(HashIndexTest, InsertRemoveChurnDoesNotRatchetCapacity) {
+  // Sustained churn of mostly-distinct keys leaves dead key slots
+  // behind; rehashes must size from *live* keys so capacity stays
+  // bounded by the live working set, not by total operations ever.
+  Tuple t{I(0)};
+  HashIndex index;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    index.Insert(i, &t);
+    index.Remove(i, &t);
+    ASSERT_LE(index.SlotCapacityForTesting(), 64u) << "at op " << i;
+  }
+  // Still fully functional afterwards.
+  index.Insert(42, &t);
+  size_t hits = 0;
+  index.ForEachWithHash(42, [&](const Tuple*) { ++hits; });
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST(HashIndexTest, SurvivesRehashGrowth) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(5000);
+  for (int64_t i = 0; i < 5000; ++i) tuples.push_back({I(i)});
+  HashIndex index;  // no Reserve: forces repeated rehashing
+  for (int i = 0; i < 5000; ++i) {
+    index.Insert(static_cast<uint64_t>(i), &tuples[i]);
+  }
+  for (int i = 0; i < 5000; i += 97) {
+    const Tuple* hit = nullptr;
+    index.ForEachWithHash(static_cast<uint64_t>(i),
+                          [&](const Tuple* t) { hit = t; });
+    EXPECT_EQ(hit, &tuples[i]) << i;
+  }
+}
+
 }  // namespace
 }  // namespace wdl

@@ -79,5 +79,32 @@ TEST(ValueTest, DefaultIsIntZero) {
   EXPECT_EQ(v.AsInt(), 0);
 }
 
+TEST(ValueTest, HashIsMemoizedAndCopiesWithTheValue) {
+  Value s = Value::String("payload");
+  uint64_t h = s.Hash();
+  EXPECT_NE(h, 0u);  // 0 is the not-yet-computed sentinel
+  Value copy = s;    // copies the memoized hash
+  EXPECT_EQ(copy.Hash(), h);
+  Value assigned;
+  assigned = s;
+  EXPECT_EQ(assigned.Hash(), h);
+  // Equal content built independently hashes equally (the cache is a
+  // pure function of content, so wire checksums stay stable).
+  EXPECT_EQ(Value::String("payload").Hash(), h);
+  EXPECT_EQ(Value::MakeBlob("bytes").Hash(), Value::MakeBlob("bytes").Hash());
+  EXPECT_NE(Value::String("a").Hash(), Value::String("b").Hash());
+  // -0.0 and 0.0 are equal and must hash equally.
+  EXPECT_EQ(Value::Double(0.0), Value::Double(-0.0));
+  EXPECT_EQ(Value::Double(0.0).Hash(), Value::Double(-0.0).Hash());
+}
+
+TEST(ValueTest, ForcedHashStillDiscriminatesByContent) {
+  Value a = Value::WithHashForTesting(Value::String("a"), 99);
+  Value b = Value::WithHashForTesting(Value::String("b"), 99);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a == Value::WithHashForTesting(Value::String("a"), 99));
+}
+
 }  // namespace
 }  // namespace wdl

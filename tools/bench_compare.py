@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare two merged bench baselines (schema wdl-bench-baseline-v1).
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [--suite SUITE] [--fail-below R]
+
+Prints a per-benchmark throughput table: baseline and current wall time
+per iteration, and the throughput ratio current-vs-baseline (>1 means
+the current tree is faster: throughput in tuples/sec scales as
+1/real_time for a fixed workload). A per-suite and overall geometric
+mean follows. Exit status is 0 unless --fail-below is given and the
+overall geomean ratio falls below it (informational by default: bench
+boxes are noisy, especially CI runners).
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_suites(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "wdl-bench-baseline-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    suites = {}
+    for suite, report in doc.get("suites", {}).items():
+        for bench in report.get("benchmarks", []):
+            if bench.get("run_type") != "iteration":
+                continue
+            suites.setdefault(suite, {})[bench["name"]] = bench["real_time"]
+    return suites
+
+
+def fmt_time(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def geomean(ratios):
+    return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--suite", action="append",
+                        help="restrict to these suites (repeatable)")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        help="exit 1 when the overall geomean throughput "
+                             "ratio is below this value")
+    args = parser.parse_args()
+
+    base = load_suites(args.baseline)
+    curr = load_suites(args.current)
+    suites = sorted(set(base) & set(curr))
+    if args.suite:
+        suites = [s for s in suites if s in set(args.suite)]
+    if not suites:
+        sys.exit("no common suites to compare")
+
+    name_w = max((len(n) for s in suites for n in base[s]), default=30) + 2
+    all_ratios = []
+    print(f"{'benchmark':<{name_w}} {'baseline':>10} {'current':>10} "
+          f"{'throughput':>11}")
+    print("-" * (name_w + 34))
+    for suite in suites:
+        common = sorted(set(base[suite]) & set(curr[suite]))
+        only_base = sorted(set(base[suite]) - set(curr[suite]))
+        only_curr = sorted(set(curr[suite]) - set(base[suite]))
+        if not common and not only_base and not only_curr:
+            continue
+        ratios = []
+        print(f"[{suite}]")
+        for name in common:
+            b, c = base[suite][name], curr[suite][name]
+            ratio = b / c if c > 0 else float("inf")
+            ratios.append(ratio)
+            all_ratios.append(ratio)
+            print(f"  {name:<{name_w - 2}} {fmt_time(b):>10} "
+                  f"{fmt_time(c):>10} {ratio:>10.2f}x")
+        for name in only_base:
+            print(f"  {name:<{name_w - 2}} {'(removed)':>10}")
+        for name in only_curr:
+            print(f"  {name:<{name_w - 2}} {'(new)':>32}")
+        if ratios:
+            print(f"  {'geomean':<{name_w - 2}} {'':>21} "
+                  f"{geomean(ratios):>10.2f}x")
+    if all_ratios:
+        overall = geomean(all_ratios)
+        print("-" * (name_w + 34))
+        print(f"{'overall geomean':<{name_w}} {'':>21} {overall:>10.2f}x "
+              f"({len(all_ratios)} benchmarks)")
+        if args.fail_below is not None and overall < args.fail_below:
+            print(f"FAIL: overall geomean {overall:.2f}x is below "
+                  f"{args.fail_below:.2f}x")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
