@@ -12,10 +12,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "runtime/system.h"
 #include "wepic/wepic.h"
 
 namespace wdl {
 namespace {
+
+Value I(int64_t v) { return Value::Int(v); }
 
 void BM_UploadToFacebookWall(benchmark::State& state) {
   int batch = static_cast<int>(state.range(0));
@@ -85,6 +88,101 @@ void BM_RuleCustomizationReconvergence(benchmark::State& state) {
 }
 BENCHMARK(BM_RuleCustomizationReconvergence)->Arg(10)->Arg(100)
     ->Unit(benchmark::kMillisecond);
+
+// P1 — the PR3 claim under test: once a large view has converged, a
+// one-tuple change must cost wire bytes and compute proportional to the
+// *change*, not the view. Arg0 selects the protocol (0 = full-slice
+// oracle, 1 = differential), Arg1 the converged view size; the loop
+// body is one insert + reconvergence against a warm two-peer pipeline.
+// Expected shape: full-slice grows linearly in view size, differential
+// stays flat (the >=2x acceptance gap opens from ~1k tuples up).
+void BM_IncrementalChange(benchmark::State& state) {
+  const bool differential = state.range(0) != 0;
+  const int view_size = static_cast<int>(state.range(1));
+
+  PeerOptions mode;
+  mode.engine.use_differential_propagation = differential;
+  System system;
+  Peer* a = system.CreatePeer("a", mode);
+  Peer* hub = system.CreatePeer("hub", mode);
+  (void)hub->LoadProgramText("collection int board@hub(x: int);");
+  (void)a->LoadProgramText(
+      "collection ext data@a(x: int);"
+      "rule board@hub($x) :- data@a($x);");
+  for (int i = 0; i < view_size; ++i) {
+    (void)a->Insert(Fact("data", "a", {I(i)}));
+  }
+  (void)system.RunUntilQuiescent(10000);
+
+  // Warm-up traffic (seeding the view) is excluded from every counter:
+  // the benchmark's claim is about the steady-state per-change cost.
+  uint64_t bytes_before = system.network().stats().bytes_sent;
+  const PropagationCounters sender_before =
+      a->engine().propagation_counters();
+  // Gaps are detected at the *receiver* of the delta stream.
+  const uint64_t resyncs_before =
+      hub->engine().propagation_counters().resyncs_requested;
+  int64_t next = view_size;
+  for (auto _ : state) {
+    (void)a->Insert(Fact("data", "a", {I(next++)}));
+    benchmark::DoNotOptimize(system.RunUntilQuiescent(10000));
+  }
+
+  const PropagationCounters& pc = a->engine().propagation_counters();
+  double iters = static_cast<double>(state.iterations());
+  state.counters["wire_bytes_per_change"] =
+      static_cast<double>(system.network().stats().bytes_sent -
+                          bytes_before) / iters;
+  state.counters["delta_tuples_per_change"] =
+      static_cast<double>(pc.delta_inserts_shipped +
+                          pc.delta_deletes_shipped -
+                          sender_before.delta_inserts_shipped -
+                          sender_before.delta_deletes_shipped) / iters;
+  state.counters["full_tuples_per_change"] =
+      static_cast<double>(pc.full_tuples_shipped -
+                          sender_before.full_tuples_shipped) / iters;
+  state.counters["resyncs"] = static_cast<double>(
+      hub->engine().propagation_counters().resyncs_requested -
+      resyncs_before);
+}
+BENCHMARK(BM_IncrementalChange)
+    ->ArgsProduct({{0, 1}, {100, 1000, 10000}})
+    ->Unit(benchmark::kMicrosecond);
+
+// P2 — same comparison for churn with deletions: each iteration swaps
+// one tuple (insert one, delete another), the canonical "one user
+// changed one thing" round of the north-star workload.
+void BM_IncrementalSwap(benchmark::State& state) {
+  const bool differential = state.range(0) != 0;
+  const int view_size = static_cast<int>(state.range(1));
+
+  PeerOptions mode;
+  mode.engine.use_differential_propagation = differential;
+  System system;
+  Peer* a = system.CreatePeer("a", mode);
+  Peer* hub = system.CreatePeer("hub", mode);
+  (void)hub->LoadProgramText("collection int board@hub(x: int);");
+  (void)a->LoadProgramText(
+      "collection ext data@a(x: int);"
+      "rule board@hub($x) :- data@a($x);");
+  for (int i = 0; i < view_size; ++i) {
+    (void)a->Insert(Fact("data", "a", {I(i)}));
+  }
+  (void)system.RunUntilQuiescent(10000);
+
+  int64_t next = view_size;
+  int64_t oldest = 0;
+  for (auto _ : state) {
+    (void)a->Insert(Fact("data", "a", {I(next++)}));
+    (void)a->Remove(Fact("data", "a", {I(oldest++)}));
+    benchmark::DoNotOptimize(system.RunUntilQuiescent(10000));
+  }
+  state.counters["view_size"] = static_cast<double>(
+      hub->engine().catalog().Get("board")->size());
+}
+BENCHMARK(BM_IncrementalSwap)
+    ->ArgsProduct({{0, 1}, {1000, 10000}})
+    ->Unit(benchmark::kMicrosecond);
 
 // Incremental propagation: with the pipeline warm, one more upload.
 void BM_SingleIncrementalUpload(benchmark::State& state) {

@@ -7,16 +7,6 @@
 
 namespace wdl {
 
-uint64_t HashTupleSet(const std::unordered_set<Tuple, TupleHasher>& set) {
-  // XOR is order-independent; salt with size so {} and {t, t} can't
-  // collide with rearrangements (sets have no duplicates, but the salt
-  // also separates the empty set from "absent").
-  uint64_t h = set.size();
-  TupleHasher hasher;
-  for (const Tuple& t : set) h ^= hasher(t) | 1;
-  return h;
-}
-
 Engine::Engine(std::string self_peer, EngineOptions options)
     : self_peer_(std::move(self_peer)),
       options_(options),
@@ -170,13 +160,38 @@ void Engine::EnqueueFactDeletes(std::vector<Fact> facts) {
 }
 
 void Engine::EnqueueDerivedSet(const std::string& sender, DerivedSet set) {
-  inbound_derived_.emplace_back(sender, std::move(set));
+  // Full-slice sets are version-less snapshots: both protocols flow
+  // through one queue so application order matches arrival order.
+  InboundDerived in;
+  in.sender = sender;
+  in.versioned = false;
+  in.delta.target_peer = std::move(set.target_peer);
+  in.delta.relation = std::move(set.relation);
+  in.delta.snapshot = true;
+  in.delta.inserts = std::move(set.tuples);
+  inbound_derived_.push_back(std::move(in));
+}
+
+void Engine::EnqueueDerivedDelta(const std::string& sender,
+                                 DerivedDelta delta) {
+  InboundDerived in;
+  in.sender = sender;
+  in.versioned = true;
+  in.delta = std::move(delta);
+  inbound_derived_.push_back(std::move(in));
+}
+
+void Engine::EnqueueResyncRequest(const std::string& peer,
+                                  const std::string& relation) {
+  pending_resync_serves_.emplace(peer, relation);
+  dirty_ = true;  // the snapshot must go out even with no local change
 }
 
 bool Engine::HasPendingWork() const {
   return dirty_ || !inbound_inserts_.empty() || !inbound_deletes_.empty() ||
-         !inbound_derived_.empty() || !pending_self_updates_.empty() ||
-         !pending_self_deletes_.empty() || !ran_any_stage_;
+         !inbound_derived_.empty() || !pending_resync_serves_.empty() ||
+         !pending_self_updates_.empty() || !pending_self_deletes_.empty() ||
+         !ran_any_stage_;
 }
 
 void Engine::ApplyInputs(StageStats* stats, bool* changed) {
@@ -222,72 +237,135 @@ void Engine::ApplyInputs(StageStats* stats, bool* changed) {
   }
   inbound_deletes_.clear();
 
-  for (auto& [sender, set] : inbound_derived_) {
-    Relation* rel = catalog_.Get(set.relation);
-    if (rel == nullptr) {
-      // A peer is telling us about a relation we do not know yet: the
-      // paper's "peers may discover new relations". Create it as
-      // extensional with inferred arity.
-      if (set.tuples.empty()) continue;
-      RelationDecl decl;
-      decl.relation = set.relation;
-      decl.peer = self_peer_;
-      decl.kind = RelationKind::kExtensional;
-      decl.columns.resize(set.tuples[0].size());
-      for (size_t i = 0; i < decl.columns.size(); ++i) {
-        decl.columns[i].name = "c" + std::to_string(i);
-      }
-      Status st = catalog_.Declare(decl);
-      if (!st.ok()) {
-        WDL_LOG(Error) << "auto-declare failed: " << st;
-        continue;
-      }
-      rel = catalog_.Get(set.relation);
-    }
-    if (rel->kind() == RelationKind::kExtensional) {
-      // Updates are persistent: union-insert, never delete.
-      for (Tuple& t : set.tuples) {
-        Result<bool> r = rel->Insert(std::move(t));
-        if (!r.ok()) {
-          WDL_LOG(Error) << "inbound derived tuple rejected by "
-                         << rel->decl().PredicateId() << ": " << r.status();
-        } else if (*r) {
-          *changed = true;
-        }
-      }
-    } else {
-      // View semantics: replace this sender's slice.
-      TupleSet slice;
-      for (Tuple& t : set.tuples) {
-        if (rel->CheckTuple(t).ok()) slice.insert(std::move(t));
-      }
-      TupleSet& stored = remote_contributions_[set.relation][sender];
-      if (HashTupleSet(stored) != HashTupleSet(slice)) *changed = true;
-      if (slice.empty()) {
-        remote_contributions_[set.relation].erase(sender);
-      } else {
-        stored = std::move(slice);
-      }
-    }
+  for (InboundDerived& in : inbound_derived_) {
+    ApplyInboundDerived(in, changed);
   }
   inbound_derived_.clear();
 }
 
-void Engine::SeedIntensionalFromContributions() {
-  for (auto& [relation, by_sender] : remote_contributions_) {
-    Relation* rel = catalog_.Get(relation);
-    if (rel == nullptr || rel->kind() != RelationKind::kIntensional) {
-      continue;
+void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed) {
+  DerivedDelta& d = in.delta;
+  Relation* rel = catalog_.Get(d.relation);
+  if (rel == nullptr) {
+    // A peer is telling us about a relation we do not know yet: the
+    // paper's "peers may discover new relations". Create it as
+    // extensional with inferred arity. A tuple-less update to an
+    // unknown relation has nothing to create or apply.
+    if (d.inserts.empty()) return;
+    RelationDecl decl;
+    decl.relation = d.relation;
+    decl.peer = self_peer_;
+    decl.kind = RelationKind::kExtensional;
+    decl.columns.resize(d.inserts[0].size());
+    for (size_t i = 0; i < decl.columns.size(); ++i) {
+      decl.columns[i].name = "c" + std::to_string(i);
     }
-    for (auto& [sender, slice] : by_sender) {
-      for (const Tuple& t : slice) {
-        Result<bool> r = rel->Insert(t);
-        if (!r.ok()) {
-          WDL_LOG(Warning) << "contribution tuple rejected: " << r.status();
-        }
+    Status st = catalog_.Declare(decl);
+    if (!st.ok()) {
+      WDL_LOG(Error) << "auto-declare failed: " << st;
+      return;
+    }
+    rel = catalog_.Get(d.relation);
+  }
+
+  if (rel->kind() == RelationKind::kExtensional) {
+    // Updates are persistent: union-insert, never delete. Inserts apply
+    // regardless of stream position (monotone, so replays and gapped
+    // deltas can only add facts the sender really derived); the version
+    // gate below only decides bookkeeping and gap repair.
+    for (Tuple& t : d.inserts) {
+      Result<bool> r = rel->Insert(std::move(t));
+      if (!r.ok()) {
+        WDL_LOG(Error) << "inbound derived tuple rejected by "
+                       << rel->decl().PredicateId() << ": " << r.status();
+      } else if (*r) {
+        *changed = true;
       }
     }
+    if (in.versioned) {
+      SliceStore::Gate gate =
+          d.snapshot
+              ? slice_store_.CheckSnapshot(d.relation, in.sender, d.version)
+              : slice_store_.CheckDelta(d.relation, in.sender,
+                                        d.base_version, d.version);
+      if (gate == SliceStore::Gate::kApply) {
+        slice_store_.CommitVersion(d.relation, in.sender, d.version);
+      } else if (gate == SliceStore::Gate::kGap) {
+        uint64_t& missing = resync_needed_[{in.sender, d.relation}];
+        missing = std::max(missing, d.version);
+      }
+    }
+    return;
   }
+
+  // View semantics: the update targets this sender's slice. Only
+  // schema-valid tuples enter the slice (invalid ones could never seed
+  // the view anyway).
+  auto filtered = [&](std::vector<Tuple>& tuples) {
+    TupleSet set;
+    set.reserve(tuples.size());
+    for (Tuple& t : tuples) {
+      if (rel->CheckTuple(t).ok()) set.insert(std::move(t));
+    }
+    return set;
+  };
+
+  if (!in.versioned) {
+    // Full-slice protocol: replace wholesale. Change detection compares
+    // the stored and arriving sets directly — a hash collision must
+    // never suppress a real view change.
+    *changed |=
+        slice_store_.ReplaceSlice(d.relation, in.sender, filtered(d.inserts));
+    return;
+  }
+
+  SliceStore::Gate gate =
+      d.snapshot
+          ? slice_store_.CheckSnapshot(d.relation, in.sender, d.version)
+          : slice_store_.CheckDelta(d.relation, in.sender, d.base_version,
+                                    d.version);
+  switch (gate) {
+    case SliceStore::Gate::kApply:
+      if (d.snapshot) {
+        *changed |= slice_store_.ApplySnapshot(d.relation, in.sender,
+                                               filtered(d.inserts),
+                                               d.version);
+      } else {
+        // Validate in place; ApplyDelta dedups per tuple itself.
+        d.inserts.erase(
+            std::remove_if(d.inserts.begin(), d.inserts.end(),
+                           [&](const Tuple& t) {
+                             return !rel->CheckTuple(t).ok();
+                           }),
+            d.inserts.end());
+        *changed |= slice_store_.ApplyDelta(d.relation, in.sender,
+                                            std::move(d.inserts),
+                                            d.deletes, d.version);
+      }
+      break;
+    case SliceStore::Gate::kStale:
+      break;  // duplicate or reordered-old update: already reflected
+    case SliceStore::Gate::kGap: {
+      // A predecessor was lost; applying would corrupt the slice. Ask
+      // the sender for a snapshot instead (step 3 ships the request).
+      uint64_t& missing = resync_needed_[{in.sender, d.relation}];
+      missing = std::max(missing, d.version);
+      break;
+    }
+  }
+}
+
+void Engine::SeedIntensionalFromContributions() {
+  slice_store_.ForEachContributedRelation([&](const std::string& name) {
+    Relation* rel = catalog_.Get(name);
+    if (rel == nullptr || rel->kind() != RelationKind::kIntensional) return;
+    slice_store_.ForEachContribution(name, [&](const Tuple& t) {
+      Result<bool> r = rel->Insert(t);
+      if (!r.ok()) {
+        WDL_LOG(Warning) << "contribution tuple rejected: " << r.status();
+      }
+    });
+  });
 }
 
 void Engine::RunFixpoint(
@@ -429,6 +507,131 @@ void Engine::RunFixpoint(
       evaluator_.counters().tuples_examined - tuples_before;
 }
 
+namespace {
+std::vector<Tuple> SortedVector(
+    const std::unordered_set<Tuple, TupleHasher>& set) {
+  std::vector<Tuple> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());  // deterministic wire
+  return out;
+}
+}  // namespace
+
+/// Contribution sets ship only when they changed — decided by direct
+/// set comparison against what was last sent (hash-collision-proof).
+/// Under full-slice the whole contribution is re-sent; under the
+/// differential protocol only the inserts/deletes against the last-sent
+/// state go out, with stream versions so the receiver can order them.
+/// An emptied contribution ships once (as an empty set, or as a delta
+/// deleting the remainder) so the receiver clears its slice.
+void Engine::EmitContributions(
+    std::map<ContributionKey, TupleSet>* contributions,
+    StageResult* result) {
+  const bool differential = options_.use_differential_propagation;
+
+  // Vanished contributions first: keys we shipped before that this
+  // stage derived nothing for.
+  for (auto& [key, sent] : sent_contributions_) {
+    if (contributions->count(key) || sent.tuples.empty()) continue;
+    if (differential) {
+      DerivedDelta dd;
+      dd.target_peer = key.target_peer;
+      dd.relation = key.relation;
+      dd.base_version = sent.version;
+      dd.version = sent.version + 1;
+      dd.deletes = SortedVector(sent.tuples);
+      result->stats.derived_tuples_out += dd.deletes.size();
+      prop_counters_.delta_deletes_shipped += dd.deletes.size();
+      ++prop_counters_.deltas_shipped;
+      result->outbound[key.target_peer].derived_deltas.push_back(
+          std::move(dd));
+    } else {
+      DerivedSet empty_set;
+      empty_set.target_peer = key.target_peer;
+      empty_set.relation = key.relation;
+      ++prop_counters_.full_sets_shipped;
+      result->outbound[key.target_peer].derived_sets.push_back(
+          std::move(empty_set));
+    }
+    sent.tuples.clear();
+    ++sent.version;
+  }
+
+  // Changed contributions.
+  for (auto& [key, set] : *contributions) {
+    SentContribution& sent = sent_contributions_[key];
+    if (sent.tuples == set) continue;  // unchanged, stay silent
+    if (differential) {
+      DerivedDelta dd;
+      dd.target_peer = key.target_peer;
+      dd.relation = key.relation;
+      dd.base_version = sent.version;
+      dd.version = sent.version + 1;
+      for (const Tuple& t : set) {
+        if (!sent.tuples.count(t)) dd.inserts.push_back(t);
+      }
+      for (const Tuple& t : sent.tuples) {
+        if (!set.count(t)) dd.deletes.push_back(t);
+      }
+      std::sort(dd.inserts.begin(), dd.inserts.end());
+      std::sort(dd.deletes.begin(), dd.deletes.end());
+      result->stats.derived_tuples_out +=
+          dd.inserts.size() + dd.deletes.size();
+      prop_counters_.delta_inserts_shipped += dd.inserts.size();
+      prop_counters_.delta_deletes_shipped += dd.deletes.size();
+      ++prop_counters_.deltas_shipped;
+      result->outbound[key.target_peer].derived_deltas.push_back(
+          std::move(dd));
+    } else {
+      DerivedSet ds;
+      ds.target_peer = key.target_peer;
+      ds.relation = key.relation;
+      ds.tuples = SortedVector(set);
+      result->stats.derived_tuples_out += ds.tuples.size();
+      prop_counters_.full_tuples_shipped += ds.tuples.size();
+      ++prop_counters_.full_sets_shipped;
+      result->outbound[key.target_peer].derived_sets.push_back(
+          std::move(ds));
+    }
+    sent.tuples = std::move(set);
+    ++sent.version;
+  }
+
+  // Serve resync requests: a full snapshot of the current contribution
+  // at its current version (possibly just updated above — if a regular
+  // delta for the same key also shipped this stage, the snapshot
+  // subsumes it at the receiver).
+  for (const auto& [peer, relation] : pending_resync_serves_) {
+    ContributionKey key{peer, relation};
+    DerivedDelta dd;
+    dd.snapshot = true;
+    dd.target_peer = peer;
+    dd.relation = relation;
+    auto it = sent_contributions_.find(key);
+    if (it != sent_contributions_.end()) {
+      dd.version = it->second.version;
+      dd.inserts = SortedVector(it->second.tuples);
+    }
+    result->stats.derived_tuples_out += dd.inserts.size();
+    ++prop_counters_.snapshots_shipped;
+    result->outbound[peer].derived_deltas.push_back(std::move(dd));
+  }
+  pending_resync_serves_.clear();
+
+  // And raise our own: gaps detected while applying inbound deltas —
+  // unless a later message of the same batch (duplicate, reordered
+  // original, snapshot) already advanced the stream past the missing
+  // update, in which case the gap healed itself.
+  for (const auto& [key, missing_version] : resync_needed_) {
+    const auto& [sender, relation] = key;
+    if (slice_store_.StreamVersion(relation, sender) >= missing_version) {
+      continue;
+    }
+    result->outbound[sender].resync_requests.push_back(relation);
+    ++prop_counters_.resyncs_requested;
+  }
+  resync_needed_.clear();
+}
+
 uint64_t Engine::IntensionalContentHash() const {
   uint64_t h = 0;
   TupleHasher hasher;
@@ -477,35 +680,7 @@ StageResult Engine::RunStage() {
   }
 
   // Step 3: emit facts (updates) and rules (delegations) to other peers.
-  // Contribution sets ship only when they changed; an emptied set ships
-  // once as empty so the receiver clears its slice.
-  std::map<ContributionKey, uint64_t> new_hashes;
-  for (const auto& [key, set] : contributions) {
-    new_hashes[key] = HashTupleSet(set);
-  }
-  for (const auto& [key, old_hash] : sent_contribution_hash_) {
-    if (new_hashes.count(key)) continue;
-    (void)old_hash;
-    DerivedSet empty_set;
-    empty_set.target_peer = key.target_peer;
-    empty_set.relation = key.relation;
-    result.outbound[key.target_peer].derived_sets.push_back(
-        std::move(empty_set));
-  }
-  for (const auto& [key, set] : contributions) {
-    auto it = sent_contribution_hash_.find(key);
-    if (it != sent_contribution_hash_.end() &&
-        it->second == new_hashes[key]) {
-      continue;  // unchanged, stay silent
-    }
-    DerivedSet ds;
-    ds.target_peer = key.target_peer;
-    ds.relation = key.relation;
-    ds.tuples.assign(set.begin(), set.end());
-    std::sort(ds.tuples.begin(), ds.tuples.end());  // deterministic wire
-    result.outbound[key.target_peer].derived_sets.push_back(std::move(ds));
-  }
-  sent_contribution_hash_ = std::move(new_hashes);
+  EmitContributions(&contributions, &result);
 
   // Delegation diff: install the new, retract the vanished.
   for (const auto& [key, d] : delegations) {
@@ -540,6 +715,26 @@ StageResult Engine::RunStage() {
                    !pending_self_updates_.empty() ||
                    !pending_self_deletes_.empty();
   return result;
+}
+
+Status Engine::DropScratchRelation(const std::string& relation) {
+  for (const InstalledRule& ir : rules_) {
+    auto mentions = [&](const Atom& a) {
+      return !a.relation.is_variable() && a.relation.name() == relation;
+    };
+    bool referenced = mentions(ir.rule.head);
+    for (const Atom& a : ir.rule.body) referenced |= mentions(a);
+    if (referenced) {
+      return Status::FailedPrecondition(
+          "relation " + relation + " is still referenced by rule " +
+          ir.rule.ToString());
+    }
+  }
+  slice_store_.DropRelation(relation);
+  if (!catalog_.Undeclare(relation)) {
+    return Status::NotFound("relation " + relation + " is not declared");
+  }
+  return Status::OK();
 }
 
 std::string Engine::DumpAsProgramText() const {

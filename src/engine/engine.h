@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -16,6 +17,7 @@
 #include "engine/delegation.h"
 #include "engine/eval.h"
 #include "storage/catalog.h"
+#include "storage/slice_store.h"
 
 namespace wdl {
 
@@ -33,6 +35,13 @@ struct EngineOptions {
   /// Compile rules to RulePlans (production) vs interpret the rule AST
   /// (the seed semantics, kept as a differential-testing oracle).
   bool use_compiled_plans = true;
+  /// Ship per-(peer, relation) contribution *changes* (DerivedDelta
+  /// messages with stream versions; production) vs re-sending the full
+  /// contribution on every change (the seed semantics, kept as a
+  /// differential-testing oracle — see DESIGN.md §5). Both converge to
+  /// identical state; the delta path's per-round cost is proportional
+  /// to the change size, not the view size.
+  bool use_differential_propagation = true;
   Dialect dialect = Dialect::kExtended;
   int max_fixpoint_iterations = 1 << 20;  // safety net; datalog terminates
 };
@@ -47,19 +56,41 @@ struct DerivedSet {
   std::vector<Tuple> tuples;
 };
 
+/// One differential update of a sender's contribution to a remote
+/// relation (DESIGN.md §5). Versions order one (sender, target,
+/// relation) stream: the delta moves it `base_version -> version`, so a
+/// receiver can drop duplicates and detect lost predecessors (and then
+/// ask for a resync). A `snapshot` carries the whole contribution in
+/// `inserts` (deletes empty) and repairs any gap.
+struct DerivedDelta {
+  std::string target_peer;
+  std::string relation;
+  uint64_t base_version = 0;
+  uint64_t version = 0;
+  bool snapshot = false;
+  std::vector<Tuple> inserts;
+  std::vector<Tuple> deletes;
+};
+
 /// Everything a stage wants delivered to one remote peer.
 struct Outbound {
-  std::vector<DerivedSet> derived_sets;
+  std::vector<DerivedSet> derived_sets;      // full-slice protocol
+  std::vector<DerivedDelta> derived_deltas;  // differential protocol
+  /// Relations whose contribution *from the target peer* must be re-sent
+  /// in full (this peer detected a gap in the inbound delta stream).
+  std::vector<std::string> resync_requests;
   std::vector<Fact> fact_deletes;  // from deletion rules (-head :- body)
   std::vector<Delegation> delegation_installs;
   std::vector<uint64_t> delegation_retracts;  // Delegation::Key()s
 
   bool empty() const {
-    return derived_sets.empty() && fact_deletes.empty() &&
+    return derived_sets.empty() && derived_deltas.empty() &&
+           resync_requests.empty() && fact_deletes.empty() &&
            delegation_installs.empty() && delegation_retracts.empty();
   }
   size_t MessageCount() const {
-    return derived_sets.size() + (fact_deletes.empty() ? 0 : 1) +
+    return derived_sets.size() + derived_deltas.size() +
+           resync_requests.size() + (fact_deletes.empty() ? 0 : 1) +
            delegation_installs.size() + delegation_retracts.size();
   }
 };
@@ -72,6 +103,23 @@ struct StageStats {
   size_t active_rules = 0;
   size_t delegations_active = 0;
   size_t messages_out = 0;
+  /// Tuples shipped in derived sets and deltas this stage — the wire
+  /// payload of step 3. Under differential propagation this tracks the
+  /// change size; under full-slice it tracks the view size.
+  uint64_t derived_tuples_out = 0;
+};
+
+/// Cumulative propagation-plane telemetry of one engine, across every
+/// stage it has run. Benches surface these next to EvalCounters so perf
+/// work can attribute wire-cost wins (ISSUE: bytes/delta telemetry).
+struct PropagationCounters {
+  uint64_t full_sets_shipped = 0;     // full-slice DerivedSet messages
+  uint64_t full_tuples_shipped = 0;   // tuples inside them
+  uint64_t deltas_shipped = 0;        // DerivedDelta messages
+  uint64_t delta_inserts_shipped = 0;
+  uint64_t delta_deletes_shipped = 0;
+  uint64_t snapshots_shipped = 0;     // resync responses served
+  uint64_t resyncs_requested = 0;     // gaps this engine detected
 };
 
 struct StageResult {
@@ -141,6 +189,11 @@ class Engine {
   void EnqueueFactInserts(std::vector<Fact> facts);
   void EnqueueFactDeletes(std::vector<Fact> facts);
   void EnqueueDerivedSet(const std::string& sender, DerivedSet set);
+  void EnqueueDerivedDelta(const std::string& sender, DerivedDelta delta);
+  /// `peer` lost part of our contribution stream to `relation`@peer and
+  /// asks for a full snapshot; served in the next stage's step 3.
+  void EnqueueResyncRequest(const std::string& peer,
+                            const std::string& relation);
 
   /// Runs one computation stage and returns what must be shipped.
   StageResult RunStage();
@@ -156,6 +209,21 @@ class Engine {
   /// run: plan-cache behavior, access-path choices, join work. Benches
   /// surface these in their JSON so perf work can attribute wins.
   const EvalCounters& eval_counters() const { return evaluator_.counters(); }
+
+  /// Propagation-plane telemetry (tuples shipped full vs differential,
+  /// resync traffic), accumulated like eval_counters().
+  const PropagationCounters& propagation_counters() const {
+    return prop_counters_;
+  }
+
+  /// Receiver-side contribution store (observability for tests: slices,
+  /// support counts, stream versions).
+  const SliceStore& slice_store() const { return slice_store_; }
+
+  /// Removes an ad-hoc scratch relation: catalog entry plus any remote
+  /// contribution slices, so a recycled `__query_<n>` name starts
+  /// clean. The caller must have removed every rule referencing it.
+  Status DropScratchRelation(const std::string& relation);
 
   /// Human-readable program listing with provenance markers — the
   /// per-peer program view of the paper's Figure 3.
@@ -180,9 +248,31 @@ class Engine {
   };
   using TupleSet = std::unordered_set<Tuple, TupleHasher>;
 
+  /// What we last shipped for one (target peer, relation): the full
+  /// tuple set (the diffing base of differential propagation, and the
+  /// direct-comparison change detector of both modes — hashes are never
+  /// trusted for suppression) plus the stream version.
+  struct SentContribution {
+    TupleSet tuples;
+    uint64_t version = 0;
+  };
+
+  /// One queued inbound contribution update. Full-slice DerivedSets
+  /// arrive as version-less snapshots, so both protocols flow through
+  /// one queue in arrival order.
+  struct InboundDerived {
+    std::string sender;
+    bool versioned = false;
+    DerivedDelta delta;
+  };
+
   Status ValidateNewRule(const Rule& rule) const;
   void ApplyInputs(StageStats* stats, bool* changed);
+  void ApplyInboundDerived(InboundDerived& in, bool* changed);
   void SeedIntensionalFromContributions();
+  void EmitContributions(
+      std::map<ContributionKey, TupleSet>* contributions,
+      StageResult* result);
   void RunFixpoint(StageStats* stats,
                    std::map<ContributionKey, TupleSet>* contributions,
                    std::map<uint64_t, Delegation>* delegations,
@@ -204,7 +294,16 @@ class Engine {
   // Step-1 queues.
   std::vector<Fact> inbound_inserts_;
   std::vector<Fact> inbound_deletes_;
-  std::vector<std::pair<std::string, DerivedSet>> inbound_derived_;
+  std::vector<InboundDerived> inbound_derived_;
+  // Resync requests received from peers, served next stage.
+  std::set<std::pair<std::string, std::string>> pending_resync_serves_;
+  // Gaps detected while applying inbound deltas this stage: (sender,
+  // relation) -> highest update version we failed to apply. Turned into
+  // outbound resync requests in step 3, unless a later message in the
+  // batch (duplicate, reordered original, snapshot) already moved the
+  // stream to that version — then the gap healed itself and a request
+  // would only buy a redundant full snapshot.
+  std::map<std::pair<std::string, std::string>, uint64_t> resync_needed_;
 
   // Deferred local extensional derivations (visible next stage, like
   // Bud's deferred <+ operator), and deferred deletions from deletion
@@ -212,16 +311,18 @@ class Engine {
   std::unordered_set<Fact, FactHasher> pending_self_updates_;
   std::unordered_set<Fact, FactHasher> pending_self_deletes_;
 
-  // Remote contributions to local intensional relations, by relation
-  // then sender. Re-seeded into the relations at every stage start.
-  std::map<std::string, std::map<std::string, TupleSet>>
-      remote_contributions_;
+  // Remote contributions to local intensional relations: per-sender
+  // slices with support counts and delta-stream versions. The union is
+  // re-seeded into the view relations at every stage start.
+  SliceStore slice_store_;
 
-  // What we already shipped, for change detection.
-  std::map<ContributionKey, uint64_t> sent_contribution_hash_;
+  // What we already shipped, for change detection and delta diffing.
+  std::map<ContributionKey, SentContribution> sent_contributions_;
   std::map<uint64_t, Delegation> sent_delegations_;
   // Remote deletions already shipped (deletion is idempotent; ship once).
   std::unordered_set<Fact, FactHasher> sent_remote_deletes_;
+
+  PropagationCounters prop_counters_;
 
   uint64_t prev_intensional_hash_ = 0;
   bool ran_any_stage_ = false;
@@ -229,9 +330,6 @@ class Engine {
   // knows a stage is needed; cleared by RunStage.
   bool dirty_ = true;
 };
-
-/// Order-independent content hash of a tuple set (0 for the empty set).
-uint64_t HashTupleSet(const std::unordered_set<Tuple, TupleHasher>& set);
 
 }  // namespace wdl
 

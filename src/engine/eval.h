@@ -33,14 +33,7 @@ class DeltaSet {
  public:
   bool Insert(Tuple t) {
     auto [it, inserted] = tuples_.insert(std::move(t));
-    if (inserted && !indexes_.empty()) {
-      const Tuple* stored = &*it;
-      for (auto& [col, index] : indexes_) {
-        if (col < stored->size()) {
-          index.Insert((*stored)[col].Hash(), stored);
-        }
-      }
-    }
+    if (inserted) indexes_.OnInsert(&*it);
     return inserted;
   }
 
@@ -55,28 +48,15 @@ class DeltaSet {
   /// mutate this DeltaSet.
   template <typename Fn>
   void LookupEqual(size_t column, const Value& value, Fn&& fn) const {
-    const HashIndex& index = EnsureIndex(column);
-    index.ForEachWithHash(value.Hash(), [&](const Tuple* t) {
-      // Hash collisions are possible; confirm equality.
-      if ((*t)[column] == value) fn(*t);
-    });
+    LazyColumnIndexes::ProbeEqual(indexes_.Ensure(column, tuples_), column,
+                                  value, fn);
   }
 
  private:
-  const HashIndex& EnsureIndex(size_t column) const {
-    auto it = indexes_.find(column);
-    if (it == indexes_.end()) {
-      it = indexes_.emplace(column, HashIndex()).first;
-      it->second.Reserve(tuples_.size());
-      for (const Tuple& t : tuples_) {
-        if (column < t.size()) it->second.Insert(t[column].Hash(), &t);
-      }
-    }
-    return it->second;
-  }
-
   std::unordered_set<Tuple, TupleHasher> tuples_;
-  mutable std::map<size_t, HashIndex> indexes_;
+  // Shared build-on-first-probe helper (also used by Relation); mutable
+  // because a probe through the const read path may build the index.
+  mutable LazyColumnIndexes indexes_;
 };
 
 /// Newly derived tuples per relation in the previous fixpoint iteration

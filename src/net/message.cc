@@ -12,6 +12,8 @@ const char* MessageTypeToString(MessageType type) {
     case MessageType::kDelegationInstall: return "DelegationInstall";
     case MessageType::kDelegationRetract: return "DelegationRetract";
     case MessageType::kHello: return "Hello";
+    case MessageType::kDerivedDelta: return "DerivedDelta";
+    case MessageType::kResyncRequest: return "ResyncRequest";
   }
   return "?";
 }
@@ -34,6 +36,20 @@ Message Message::MakeDerivedSet(DerivedSet set) {
   Message m;
   m.type = MessageType::kDerivedSet;
   m.derived = std::move(set);
+  return m;
+}
+
+Message Message::MakeDerivedDelta(DerivedDelta delta) {
+  Message m;
+  m.type = MessageType::kDerivedDelta;
+  m.delta = std::move(delta);
+  return m;
+}
+
+Message Message::ResyncRequest(std::string relation) {
+  Message m;
+  m.type = MessageType::kResyncRequest;
+  m.text = std::move(relation);
   return m;
 }
 
@@ -77,6 +93,17 @@ std::string Message::ToString() const {
                        static_cast<unsigned long long>(delegation_key));
       break;
     case MessageType::kHello:
+      out += "(" + text + ")";
+      break;
+    case MessageType::kDerivedDelta:
+      out += StrFormat("(%s@%s, v%llu->%llu%s, +%zu/-%zu)",
+                       delta.relation.c_str(), delta.target_peer.c_str(),
+                       static_cast<unsigned long long>(delta.base_version),
+                       static_cast<unsigned long long>(delta.version),
+                       delta.snapshot ? " snapshot" : "",
+                       delta.inserts.size(), delta.deletes.size());
+      break;
+    case MessageType::kResyncRequest:
       out += "(" + text + ")";
       break;
   }

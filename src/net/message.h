@@ -21,6 +21,8 @@ enum class MessageType : uint8_t {
   kDelegationInstall = 3, // install a residual rule at the receiver
   kDelegationRetract = 4, // retract a previously installed delegation
   kHello = 5,             // peer announcement (discovery)
+  kDerivedDelta = 6,      // differential contribution update (DESIGN §5)
+  kResyncRequest = 7,     // "re-send your contribution to <relation> in full"
 };
 
 const char* MessageTypeToString(MessageType type);
@@ -30,13 +32,16 @@ struct Message {
   MessageType type = MessageType::kHello;
   std::vector<Fact> facts;     // kFactInserts / kFactDeletes
   DerivedSet derived;          // kDerivedSet
+  DerivedDelta delta;          // kDerivedDelta
   Delegation delegation;       // kDelegationInstall
   uint64_t delegation_key = 0; // kDelegationRetract
-  std::string text;            // kHello: announced peer name
+  std::string text;            // kHello: peer name; kResyncRequest: relation
 
   static Message FactInserts(std::vector<Fact> facts);
   static Message FactDeletes(std::vector<Fact> facts);
   static Message MakeDerivedSet(DerivedSet set);
+  static Message MakeDerivedDelta(DerivedDelta delta);
+  static Message ResyncRequest(std::string relation);
   static Message DelegationInstall(Delegation d);
   static Message DelegationRetract(uint64_t key);
   static Message Hello(std::string peer_name);

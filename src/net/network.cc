@@ -43,17 +43,26 @@ Status SimulatedNetwork::Submit(Envelope envelope, double now) {
     return Status::OK();
   }
   std::string bytes = EncodeEnvelope(envelope);
-  stats_.bytes_sent += bytes.size();
   ++edge_messages_[{envelope.from, envelope.to}];
 
-  double latency = link.latency;
-  if (link.jitter > 0.0) latency += rng_.NextDouble() * link.jitter;
+  int copies = 1;
+  if (link.duplicate_probability > 0.0 &&
+      rng_.NextBool(link.duplicate_probability)) {
+    ++copies;
+    ++stats_.messages_duplicated;
+  }
+  const size_t frame_size = bytes.size();
+  for (int i = 0; i < copies; ++i) {
+    stats_.bytes_sent += frame_size;  // every frame occupies the wire
+    double latency = link.latency;
+    if (link.jitter > 0.0) latency += rng_.NextDouble() * link.jitter;
 
-  InFlight f;
-  f.deliver_at = now + latency;
-  f.seq = next_seq_++;
-  f.bytes = std::move(bytes);
-  in_flight_.push(std::move(f));
+    InFlight f;
+    f.deliver_at = now + latency;
+    f.seq = next_seq_++;
+    f.bytes = (i + 1 == copies) ? std::move(bytes) : bytes;
+    in_flight_.push(std::move(f));
+  }
   return Status::OK();
 }
 

@@ -22,6 +22,10 @@ struct LinkConfig {
   double latency = 0.5;
   double jitter = 0.0;           // uniform extra latency in [0, jitter)
   double drop_probability = 0.0; // iid per message
+  /// iid per message: the frame is delivered twice (with independent
+  /// latency draws, so the copies can reorder around later traffic).
+  /// Exercises the at-least-once tolerance of the delta protocol.
+  double duplicate_probability = 0.0;
 };
 
 struct NetworkStats {
@@ -29,6 +33,7 @@ struct NetworkStats {
   uint64_t messages_delivered = 0;
   uint64_t messages_dropped = 0;    // random loss
   uint64_t messages_partitioned = 0; // lost to a partition
+  uint64_t messages_duplicated = 0;  // extra copies injected by links
   uint64_t bytes_sent = 0;
 
   void Reset() { *this = NetworkStats(); }
@@ -53,8 +58,9 @@ class Network {
 /// seeded PRNG: identical seeds replay identical executions.
 ///
 /// This is the paper-substitution for the live LAN + cloud deployment;
-/// see DESIGN.md §2. Latency/jitter/drop/partition knobs let tests
-/// exercise reorderings and failures that a demo floor never shows.
+/// see DESIGN.md §2. Latency/jitter/drop/duplicate/partition knobs let
+/// tests exercise reorderings and failures that a demo floor never
+/// shows.
 class SimulatedNetwork : public Network {
  public:
   explicit SimulatedNetwork(uint64_t seed = 42,

@@ -112,6 +112,18 @@ void WireEncoder::PutDerivedSet(const DerivedSet& s) {
   for (const Tuple& t : s.tuples) PutTuple(t);
 }
 
+void WireEncoder::PutDerivedDelta(const DerivedDelta& d) {
+  PutString(d.target_peer);
+  PutString(d.relation);
+  PutU64(d.base_version);
+  PutU64(d.version);
+  PutU8(d.snapshot ? 1 : 0);
+  PutU32(static_cast<uint32_t>(d.inserts.size()));
+  for (const Tuple& t : d.inserts) PutTuple(t);
+  PutU32(static_cast<uint32_t>(d.deletes.size()));
+  for (const Tuple& t : d.deletes) PutTuple(t);
+}
+
 void WireEncoder::PutMessage(const Message& m) {
   PutU8(static_cast<uint8_t>(m.type));
   switch (m.type) {
@@ -130,7 +142,11 @@ void WireEncoder::PutMessage(const Message& m) {
       PutU64(m.delegation_key);
       break;
     case MessageType::kHello:
+    case MessageType::kResyncRequest:
       PutString(m.text);
+      break;
+    case MessageType::kDerivedDelta:
+      PutDerivedDelta(m.delta);
       break;
   }
 }
@@ -318,10 +334,39 @@ Result<DerivedSet> WireDecoder::GetDerivedSet() {
   return s;
 }
 
+Result<DerivedDelta> WireDecoder::GetDerivedDelta() {
+  DerivedDelta d;
+  WDL_ASSIGN_OR_RETURN(d.target_peer, GetString());
+  WDL_ASSIGN_OR_RETURN(d.relation, GetString());
+  WDL_ASSIGN_OR_RETURN(d.base_version, GetU64());
+  WDL_ASSIGN_OR_RETURN(d.version, GetU64());
+  WDL_ASSIGN_OR_RETURN(uint8_t snapshot, GetU8());
+  if (snapshot > 1) return Status::ParseError("bad delta snapshot tag");
+  d.snapshot = snapshot != 0;
+  if (!d.snapshot && d.version <= d.base_version) {
+    return Status::ParseError("delta versions not increasing");
+  }
+  WDL_ASSIGN_OR_RETURN(uint32_t n_ins, GetU32());
+  if (n_ins > kMaxCount) return Status::ParseError("delta inserts too large");
+  d.inserts.reserve(n_ins);
+  for (uint32_t i = 0; i < n_ins; ++i) {
+    WDL_ASSIGN_OR_RETURN(Tuple t, GetTuple());
+    d.inserts.push_back(std::move(t));
+  }
+  WDL_ASSIGN_OR_RETURN(uint32_t n_del, GetU32());
+  if (n_del > kMaxCount) return Status::ParseError("delta deletes too large");
+  d.deletes.reserve(n_del);
+  for (uint32_t i = 0; i < n_del; ++i) {
+    WDL_ASSIGN_OR_RETURN(Tuple t, GetTuple());
+    d.deletes.push_back(std::move(t));
+  }
+  return d;
+}
+
 Result<Message> WireDecoder::GetMessage() {
   Message m;
   WDL_ASSIGN_OR_RETURN(uint8_t type, GetU8());
-  if (type > static_cast<uint8_t>(MessageType::kHello)) {
+  if (type > static_cast<uint8_t>(MessageType::kResyncRequest)) {
     return Status::ParseError(StrFormat("bad message type %u", type));
   }
   m.type = static_cast<MessageType>(type);
@@ -349,8 +394,13 @@ Result<Message> WireDecoder::GetMessage() {
       WDL_ASSIGN_OR_RETURN(m.delegation_key, GetU64());
       break;
     }
-    case MessageType::kHello: {
+    case MessageType::kHello:
+    case MessageType::kResyncRequest: {
       WDL_ASSIGN_OR_RETURN(m.text, GetString());
+      break;
+    }
+    case MessageType::kDerivedDelta: {
+      WDL_ASSIGN_OR_RETURN(m.delta, GetDerivedDelta());
       break;
     }
   }

@@ -44,6 +44,7 @@ class WireEncoder {
   void PutRule(const Rule& r);
   void PutDelegation(const Delegation& d);
   void PutDerivedSet(const DerivedSet& s);
+  void PutDerivedDelta(const DerivedDelta& d);
   void PutMessage(const Message& m);
   void PutEnvelope(const Envelope& e);
 
@@ -74,6 +75,7 @@ class WireDecoder {
   Result<Rule> GetRule();
   Result<Delegation> GetDelegation();
   Result<DerivedSet> GetDerivedSet();
+  Result<DerivedDelta> GetDerivedDelta();
   Result<Message> GetMessage();
   Result<Envelope> GetEnvelope();
 

@@ -37,6 +37,12 @@ void Peer::HandleEnvelope(const Envelope& envelope) {
     case MessageType::kDerivedSet:
       engine_.EnqueueDerivedSet(envelope.from, m.derived);
       break;
+    case MessageType::kDerivedDelta:
+      engine_.EnqueueDerivedDelta(envelope.from, m.delta);
+      break;
+    case MessageType::kResyncRequest:
+      engine_.EnqueueResyncRequest(envelope.from, m.text);
+      break;
     case MessageType::kDelegationInstall: {
       DelegationGate::Decision decision =
           options_.trust_all_delegations
@@ -76,6 +82,12 @@ std::vector<Envelope> Peer::RunStage() {
     };
     for (DerivedSet& ds : outbound.derived_sets) {
       make_envelope(Message::MakeDerivedSet(std::move(ds)));
+    }
+    for (DerivedDelta& dd : outbound.derived_deltas) {
+      make_envelope(Message::MakeDerivedDelta(std::move(dd)));
+    }
+    for (std::string& relation : outbound.resync_requests) {
+      make_envelope(Message::ResyncRequest(std::move(relation)));
     }
     if (!outbound.fact_deletes.empty()) {
       make_envelope(Message::FactDeletes(std::move(outbound.fact_deletes)));

@@ -1,10 +1,44 @@
 #include "runtime/query.h"
 
-#include <atomic>
+#include <mutex>
+#include <vector>
 
 #include "parser/parser.h"
 
 namespace wdl {
+
+namespace {
+
+// Scratch relation names are recycled through a free pool: every name
+// ever minted interns one permanent symbol-table entry (base/symbol.h),
+// so a long-lived System issuing millions of ad-hoc queries must reuse
+// a bounded set of names instead of minting "__query_<n>" forever. The
+// pool is process-wide (names must be unique across concurrent queries
+// on any System in the process, like the old atomic counter).
+std::mutex g_query_names_mu;
+std::vector<std::string>& QueryNamePool() {
+  static std::vector<std::string> pool;
+  return pool;
+}
+
+std::string AcquireQueryName() {
+  static uint64_t counter = 0;
+  std::lock_guard<std::mutex> lock(g_query_names_mu);
+  std::vector<std::string>& pool = QueryNamePool();
+  if (!pool.empty()) {
+    std::string name = std::move(pool.back());
+    pool.pop_back();
+    return name;
+  }
+  return "__query_" + std::to_string(counter++);
+}
+
+void ReleaseQueryName(std::string name) {
+  std::lock_guard<std::mutex> lock(g_query_names_mu);
+  QueryNamePool().push_back(std::move(name));
+}
+
+}  // namespace
 
 std::string QueryResult::ToString() const {
   std::string out = "(";
@@ -27,16 +61,19 @@ Result<QueryResult> RunQuery(System* system, const std::string& peer_name,
     return Status::NotFound("no peer named " + peer_name);
   }
 
-  // Unique name per query so concurrent/nested queries never collide.
-  static std::atomic<uint64_t> counter{0};
-  std::string relation =
-      "__query_" + std::to_string(counter.fetch_add(1));
+  // Unique while in use (concurrent/nested queries never collide),
+  // recycled afterwards so the symbol table stays bounded.
+  std::string relation = AcquireQueryName();
 
   // Parse the body by wrapping it in a placeholder rule, then rebuild
   // the head from the variables in order of first occurrence.
-  WDL_ASSIGN_OR_RETURN(
-      Rule skeleton,
-      ParseRule(relation + "@" + peer_name + "() :- " + body));
+  Result<Rule> skeleton_result =
+      ParseRule(relation + "@" + peer_name + "() :- " + body);
+  if (!skeleton_result.ok()) {
+    ReleaseQueryName(std::move(relation));  // nothing was declared
+    return skeleton_result.status();
+  }
+  Rule skeleton = std::move(skeleton_result).value();
 
   std::vector<std::string> columns;
   auto note_var = [&](const std::string& v) {
@@ -68,9 +105,18 @@ Result<QueryResult> RunQuery(System* system, const std::string& peer_name,
     decl.columns[i].name = columns[i];
     decl.columns[i].type = ValueKind::kAny;
   }
-  WDL_RETURN_IF_ERROR(peer->engine().DeclareRelation(decl));
-  WDL_ASSIGN_OR_RETURN(uint64_t rule_id,
-                       peer->engine().AddRule(query_rule));
+  Status declared = peer->engine().DeclareRelation(decl);
+  if (!declared.ok()) {
+    ReleaseQueryName(std::move(relation));
+    return declared;
+  }
+  Result<uint64_t> rule_id = peer->engine().AddRule(query_rule);
+  if (!rule_id.ok()) {
+    if (peer->engine().DropScratchRelation(relation).ok()) {
+      ReleaseQueryName(std::move(relation));
+    }
+    return rule_id.status();
+  }
 
   int rounds_before = system->rounds_run();
   Result<int> converged = system->RunUntilQuiescent(max_rounds);
@@ -83,9 +129,20 @@ Result<QueryResult> RunQuery(System* system, const std::string& peer_name,
       (converged.ok() ? *converged : system->rounds_run()) - rounds_before;
 
   // Tear down: remove the rule and converge again so any delegated
-  // residuals are retracted at remote peers.
-  Status removed = peer->engine().RemoveRule(rule_id);
-  (void)system->RunUntilQuiescent(max_rounds);
+  // residuals are retracted at remote peers, then drop the scratch
+  // relation and recycle its name. A system that failed to quiesce may
+  // still have scratch traffic in flight, so the name is abandoned
+  // (leaked, like the pre-recycling behavior) rather than reused.
+  // Remote senders keep their contribution-stream versions for the
+  // dropped name, so a recycled name's first remote contribution takes
+  // one gap->resync round trip before it lands (self-healing, costs
+  // two extra rounds on distributed queries only).
+  Status removed = peer->engine().RemoveRule(*rule_id);
+  bool torn_down = system->RunUntilQuiescent(max_rounds).ok();
+  if (removed.ok() && torn_down &&
+      peer->engine().DropScratchRelation(relation).ok()) {
+    ReleaseQueryName(std::move(relation));
+  }
   WDL_RETURN_IF_ERROR(removed);
   if (!converged.ok()) return converged.status();
   return result;

@@ -73,15 +73,33 @@ RoundReport System::RunRound() {
   SyncWrappers();
 
   // Run a stage at every peer with pending work.
+  uint64_t bytes_before = network_.stats().bytes_sent;
   for (auto& [name, peer] : peers_) {
     if (!peer->HasPendingWork()) continue;
     ++report.stages_run;
     for (Envelope& e : peer->RunStage()) {
+      switch (e.message.type) {
+        case MessageType::kDerivedSet:
+          ++report.full_set_messages;
+          report.derived_tuples_sent += e.message.derived.tuples.size();
+          break;
+        case MessageType::kDerivedDelta:
+          ++report.delta_messages;
+          report.delta_tuples_sent += e.message.delta.inserts.size() +
+                                      e.message.delta.deletes.size();
+          break;
+        case MessageType::kResyncRequest:
+          ++report.resync_requests;
+          break;
+        default:
+          break;
+      }
       Status st = network_.Submit(std::move(e), now_);
       if (!st.ok()) WDL_LOG(Error) << "submit failed: " << st;
       ++report.envelopes_sent;
     }
   }
+  report.bytes_sent = network_.stats().bytes_sent - bytes_before;
   return report;
 }
 

@@ -24,6 +24,17 @@ struct RoundReport {
   size_t envelopes_delivered = 0;
   size_t stages_run = 0;
   size_t envelopes_sent = 0;
+  // Propagation-plane telemetry: what this round's stages *submitted*,
+  // by protocol. Message/tuple counts are pre-loss (a dropped or
+  // partitioned envelope is still counted — the stage did the work);
+  // bytes_sent is what actually reached the wire, so the two bases
+  // differ under lossy links.
+  size_t full_set_messages = 0;    // kDerivedSet envelopes
+  size_t delta_messages = 0;       // kDerivedDelta envelopes
+  size_t resync_requests = 0;      // kResyncRequest envelopes
+  uint64_t derived_tuples_sent = 0;  // tuples in full sets
+  uint64_t delta_tuples_sent = 0;    // inserts+deletes in deltas
+  uint64_t bytes_sent = 0;           // wire bytes submitted this round
 };
 
 /// The multi-peer coordinator: owns the simulated network and the

@@ -2,6 +2,7 @@
 #define WDL_STORAGE_HASH_INDEX_H_
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "storage/tuple.h"
@@ -157,6 +158,70 @@ class HashIndex {
   size_t keys_ = 0;           // occupied key slots, live and dead
   size_t live_keys_ = 0;      // keys with a non-empty chain
   uint32_t free_head_ = kNil;
+};
+
+/// A family of per-column HashIndexes built lazily on first probe — the
+/// access pattern shared by `Relation` (persistent storage) and the
+/// evaluator's `DeltaSet` (per-iteration Δ): a column is indexed only
+/// once a join actually probes it, and already-built indexes are kept
+/// current on every subsequent insert/remove. Centralizing it here
+/// keeps the build-on-first-probe and collision-confirming-probe logic
+/// in one place (ROADMAP item); only Relation's snapshot/version layer
+/// stays outside.
+///
+/// Tuples too short for a column are simply not indexed on it, so the
+/// helper is safe for heterogeneous scratch sets.
+class LazyColumnIndexes {
+ public:
+  /// The index on `column`, built from `tuples` (any iterable of Tuple
+  /// with stable element addresses) when probed for the first time.
+  template <typename Container>
+  const HashIndex& Ensure(size_t column, const Container& tuples) {
+    auto it = indexes_.find(column);
+    if (it == indexes_.end()) {
+      it = indexes_.emplace(column, HashIndex()).first;
+      it->second.Reserve(tuples.size());
+      for (const Tuple& t : tuples) {
+        if (column < t.size()) it->second.Insert(t[column].Hash(), &t);
+      }
+    }
+    return it->second;
+  }
+
+  /// Keeps already-built indexes current; columns never probed stay
+  /// unindexed (and unpaid-for).
+  void OnInsert(const Tuple* stored) {
+    for (auto& [col, index] : indexes_) {
+      if (col < stored->size()) index.Insert((*stored)[col].Hash(), stored);
+    }
+  }
+  void OnRemove(const Tuple* stored) {
+    for (auto& [col, index] : indexes_) {
+      if (col < stored->size()) index.Remove((*stored)[col].Hash(), stored);
+    }
+  }
+
+  /// Empties every built index without dropping it (the container was
+  /// cleared; probed columns stay hot).
+  void ClearEntries() {
+    for (auto& [col, index] : indexes_) index.Clear();
+  }
+
+  bool Has(size_t column) const { return indexes_.count(column) > 0; }
+
+  /// Collision-confirming probe: invokes `fn(const Tuple&)` on entries
+  /// of `index` whose `column`-th value *equals* `value` (the index is
+  /// keyed by hash only, so equality must be re-checked on every hit).
+  template <typename Fn>
+  static void ProbeEqual(const HashIndex& index, size_t column,
+                         const Value& value, Fn&& fn) {
+    index.ForEachWithHash(value.Hash(), [&](const Tuple* t) {
+      if ((*t)[column] == value) fn(*t);
+    });
+  }
+
+ private:
+  std::map<size_t, HashIndex> indexes_;
 };
 
 }  // namespace wdl

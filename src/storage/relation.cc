@@ -31,7 +31,7 @@ Result<bool> Relation::Insert(Tuple tuple) {
   auto [it, inserted] = tuples_.insert(std::move(tuple));
   if (inserted) {
     ++version_;
-    if (!indexes_.empty()) IndexInsert(&*it);
+    indexes_.OnInsert(&*it);
   }
   return inserted;
 }
@@ -40,7 +40,7 @@ Result<bool> Relation::Remove(const Tuple& tuple) {
   WDL_RETURN_IF_ERROR(CheckTuple(tuple));
   auto it = tuples_.find(tuple);
   if (it == tuples_.end()) return false;
-  if (!indexes_.empty()) IndexRemove(&*it);
+  indexes_.OnRemove(&*it);
   tuples_.erase(it);
   ++version_;
   return true;
@@ -49,37 +49,13 @@ Result<bool> Relation::Remove(const Tuple& tuple) {
 void Relation::Clear() {
   if (!tuples_.empty()) ++version_;
   tuples_.clear();
-  for (auto& [col, index] : indexes_) index.Clear();
-}
-
-const HashIndex& Relation::EnsureIndex(size_t column) {
-  auto it = indexes_.find(column);
-  if (it == indexes_.end()) {
-    it = indexes_.emplace(column, HashIndex()).first;
-    it->second.Reserve(tuples_.size());
-    for (const Tuple& t : tuples_) {
-      it->second.Insert(t[column].Hash(), &t);
-    }
-  }
-  return it->second;
+  indexes_.ClearEntries();
 }
 
 std::vector<Tuple> Relation::SortedTuples() const {
   std::vector<Tuple> out(tuples_.begin(), tuples_.end());
   std::sort(out.begin(), out.end());
   return out;
-}
-
-void Relation::IndexInsert(const Tuple* stored) {
-  for (auto& [col, index] : indexes_) {
-    index.Insert((*stored)[col].Hash(), stored);
-  }
-}
-
-void Relation::IndexRemove(const Tuple* stored) {
-  for (auto& [col, index] : indexes_) {
-    index.Remove((*stored)[col].Hash(), stored);
-  }
 }
 
 }  // namespace wdl

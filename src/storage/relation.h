@@ -101,17 +101,15 @@ class Relation {
     if (column >= decl_.arity()) return;
     const HashIndex& index = EnsureIndex(column);
     // Same hazard as ForEach: `fn` may insert into this relation, and
-    // IndexInsert then grows the index mid-probe. Snapshot the matching
+    // the insert then grows the index mid-probe. Snapshot the matching
     // tuple pointers before invoking the callback; the scratch buffer
     // is reused across calls, so the steady-state probe allocates
-    // nothing.
+    // nothing. ProbeEqual re-confirms equality on each hash hit.
     ScratchLease lease(this);
     std::vector<const Tuple*>& matches = lease.buf();
-    index.ForEachWithHash(value.Hash(), [&](const Tuple* t) {
-      // The index is keyed by value *hash* only; collisions are
-      // possible, so confirm equality before surfacing the tuple.
-      if ((*t)[column] == value) matches.push_back(t);
-    });
+    LazyColumnIndexes::ProbeEqual(
+        index, column, value,
+        [&](const Tuple& t) { matches.push_back(&t); });
     for (const Tuple* t : matches) fn(*t);
   }
 
@@ -136,7 +134,7 @@ class Relation {
   Status CheckTuple(const Tuple& tuple) const;
 
   /// True when a hash index exists on `column` (observability for tests).
-  bool HasIndex(size_t column) const { return indexes_.count(column) > 0; }
+  bool HasIndex(size_t column) const { return indexes_.Has(column); }
 
  private:
   /// A cached full-scan snapshot, valid while `version` matches the
@@ -192,15 +190,14 @@ class Relation {
   };
 
   /// Returns the index on `column`, building it on first use.
-  const HashIndex& EnsureIndex(size_t column);
-
-  void IndexInsert(const Tuple* stored);
-  void IndexRemove(const Tuple* stored);
+  const HashIndex& EnsureIndex(size_t column) {
+    return indexes_.Ensure(column, tuples_);
+  }
 
   RelationDecl decl_;
   Symbol symbol_;
   std::unordered_set<Tuple, TupleHasher> tuples_;
-  std::map<size_t, HashIndex> indexes_;
+  LazyColumnIndexes indexes_;
   // Bumped by every successful Insert/Remove/Clear; cached scan
   // snapshots are valid only for the version they were built at.
   uint64_t version_ = 1;

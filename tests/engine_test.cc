@@ -254,7 +254,11 @@ TEST(EngineTest, UnchangedContributionIsNotResent) {
 }
 
 TEST(EngineTest, EmptiedContributionIsSentOnceAsEmptySet) {
-  Engine e("p");
+  // Full-slice oracle mode: an emptied contribution ships as one empty
+  // DerivedSet (the differential twin of this test ships the deletes).
+  EngineOptions opts;
+  opts.use_differential_propagation = false;
+  Engine e("p", opts);
   ASSERT_TRUE(e.LoadProgram(P(R"(
     collection ext data@p(x: int);
     collection int view@p(x: int);
@@ -264,6 +268,7 @@ TEST(EngineTest, EmptiedContributionIsSentOnceAsEmptySet) {
   )")).ok());
   StageResult first = e.RunStage();
   ASSERT_EQ(first.outbound.count("q"), 1u);
+  ASSERT_EQ(first.outbound["q"].derived_sets.size(), 1u);
 
   ASSERT_TRUE(e.RemoveFact(Fact("data", "p", {I(1)})).ok());
   StageResult second = e.RunStage();
@@ -274,6 +279,183 @@ TEST(EngineTest, EmptiedContributionIsSentOnceAsEmptySet) {
   // And only once: a third stage is silent.
   StageResult third = e.RunStage();
   EXPECT_EQ(third.outbound.count("q"), 0u);
+}
+
+TEST(EngineTest, DifferentialShipsOnlyTheChange) {
+  Engine e("p");  // differential propagation is the default
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext data@p(x: int);
+    fact data@p(1);
+    rule mirror@q($x) :- data@p($x);
+  )")).ok());
+  StageResult first = e.RunStage();
+  ASSERT_EQ(first.outbound.count("q"), 1u);
+  ASSERT_EQ(first.outbound["q"].derived_deltas.size(), 1u);
+  {
+    const DerivedDelta& dd = first.outbound["q"].derived_deltas[0];
+    EXPECT_EQ(dd.base_version, 0u);
+    EXPECT_EQ(dd.version, 1u);
+    EXPECT_EQ(dd.inserts.size(), 1u);
+    EXPECT_TRUE(dd.deletes.empty());
+  }
+
+  // One more base fact: the delta carries exactly the one new tuple,
+  // not the whole two-tuple contribution.
+  ASSERT_TRUE(e.InsertFact(Fact("data", "p", {I(2)})).ok());
+  StageResult second = e.RunStage();
+  ASSERT_EQ(second.outbound["q"].derived_deltas.size(), 1u);
+  {
+    const DerivedDelta& dd = second.outbound["q"].derived_deltas[0];
+    EXPECT_EQ(dd.base_version, 1u);
+    EXPECT_EQ(dd.version, 2u);
+    ASSERT_EQ(dd.inserts.size(), 1u);
+    EXPECT_EQ(dd.inserts[0], Tuple{I(2)});
+    EXPECT_TRUE(dd.deletes.empty());
+  }
+
+  // Removing one fact ships its deletion only.
+  ASSERT_TRUE(e.RemoveFact(Fact("data", "p", {I(1)})).ok());
+  StageResult third = e.RunStage();
+  ASSERT_EQ(third.outbound["q"].derived_deltas.size(), 1u);
+  {
+    const DerivedDelta& dd = third.outbound["q"].derived_deltas[0];
+    EXPECT_EQ(dd.base_version, 2u);
+    EXPECT_EQ(dd.version, 3u);
+    EXPECT_TRUE(dd.inserts.empty());
+    ASSERT_EQ(dd.deletes.size(), 1u);
+    EXPECT_EQ(dd.deletes[0], Tuple{I(1)});
+  }
+
+  // Unchanged contribution: silent.
+  StageResult fourth = e.RunStage();
+  EXPECT_EQ(fourth.outbound.count("q"), 0u);
+}
+
+TEST(EngineTest, DifferentialEmptiedContributionShipsDeletes) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext data@p(x: int);
+    collection int view@p(x: int);
+    fact data@p(1);
+    rule view@p($x) :- data@p($x);
+    rule mirror@q($x) :- view@p($x);
+  )")).ok());
+  (void)e.RunStage();
+  ASSERT_TRUE(e.RemoveFact(Fact("data", "p", {I(1)})).ok());
+  StageResult second = e.RunStage();
+  ASSERT_EQ(second.outbound["q"].derived_deltas.size(), 1u);
+  const DerivedDelta& dd = second.outbound["q"].derived_deltas[0];
+  EXPECT_TRUE(dd.inserts.empty());
+  ASSERT_EQ(dd.deletes.size(), 1u);
+
+  StageResult third = e.RunStage();
+  EXPECT_EQ(third.outbound.count("q"), 0u);
+}
+
+TEST(EngineTest, ResyncRequestIsServedWithSnapshot) {
+  Engine e("p");
+  ASSERT_TRUE(e.LoadProgram(P(R"(
+    collection ext data@p(x: int);
+    fact data@p(1); fact data@p(2);
+    rule mirror@q($x) :- data@p($x);
+  )")).ok());
+  (void)e.RunStage();
+
+  // q claims it lost part of the stream; the next stage ships the full
+  // contribution as a snapshot at the current version, even though the
+  // contribution itself did not change.
+  e.EnqueueResyncRequest("q", "mirror");
+  ASSERT_TRUE(e.HasPendingWork());
+  StageResult served = e.RunStage();
+  ASSERT_EQ(served.outbound["q"].derived_deltas.size(), 1u);
+  const DerivedDelta& dd = served.outbound["q"].derived_deltas[0];
+  EXPECT_TRUE(dd.snapshot);
+  EXPECT_EQ(dd.version, 1u);
+  EXPECT_EQ(dd.inserts.size(), 2u);
+  EXPECT_EQ(e.propagation_counters().snapshots_shipped, 1u);
+}
+
+TEST(EngineTest, GappedDeltaTriggersResyncRequest) {
+  Engine e("p");
+  ASSERT_TRUE(
+      e.LoadProgram(P("collection int view@p(x: int);")).ok());
+
+  DerivedDelta d1;
+  d1.target_peer = "p";
+  d1.relation = "view";
+  d1.base_version = 0;
+  d1.version = 1;
+  d1.inserts = {Tuple{I(1)}};
+  e.EnqueueDerivedDelta("q", d1);
+  (void)e.RunStage();
+  EXPECT_TRUE(e.catalog().Get("view")->Contains({I(1)}));
+  EXPECT_EQ(e.slice_store().StreamVersion("view", "q"), 1u);
+
+  // Version 2 is lost; version 3 arrives. The slice must not apply it,
+  // and a resync request must go back to q.
+  DerivedDelta d3;
+  d3.target_peer = "p";
+  d3.relation = "view";
+  d3.base_version = 2;
+  d3.version = 3;
+  d3.inserts = {Tuple{I(3)}};
+  e.EnqueueDerivedDelta("q", d3);
+  StageResult r = e.RunStage();
+  EXPECT_FALSE(e.catalog().Get("view")->Contains({I(3)}));
+  ASSERT_EQ(r.outbound.count("q"), 1u);
+  ASSERT_EQ(r.outbound["q"].resync_requests.size(), 1u);
+  EXPECT_EQ(r.outbound["q"].resync_requests[0], "view");
+  EXPECT_EQ(e.propagation_counters().resyncs_requested, 1u);
+
+  // The snapshot response repairs the slice wholesale.
+  DerivedDelta snap;
+  snap.target_peer = "p";
+  snap.relation = "view";
+  snap.snapshot = true;
+  snap.version = 3;
+  snap.inserts = {Tuple{I(1)}, Tuple{I(3)}};
+  e.EnqueueDerivedDelta("q", snap);
+  (void)e.RunStage();
+  EXPECT_EQ(e.catalog().Get("view")->size(), 2u);
+  EXPECT_EQ(e.slice_store().StreamVersion("view", "q"), 3u);
+
+  // A late duplicate of the gapped delta is now stale: no double-apply,
+  // no new resync.
+  e.EnqueueDerivedDelta("q", d3);
+  StageResult dup = e.RunStage();
+  EXPECT_EQ(e.catalog().Get("view")->size(), 2u);
+  EXPECT_EQ(dup.outbound.count("q"), 0u);
+}
+
+TEST(EngineTest, SelfHealedGapDoesNotRequestResync) {
+  // A reordered batch [v2, v1, v2-duplicate] momentarily looks gapped,
+  // but the stream is whole by the end of input application — no
+  // resync (and its O(|view|) snapshot answer) may be requested.
+  Engine e("p");
+  ASSERT_TRUE(
+      e.LoadProgram(P("collection int view@p(x: int);")).ok());
+
+  DerivedDelta d1;
+  d1.target_peer = "p";
+  d1.relation = "view";
+  d1.base_version = 0;
+  d1.version = 1;
+  d1.inserts = {Tuple{I(1)}};
+  DerivedDelta d2;
+  d2.target_peer = "p";
+  d2.relation = "view";
+  d2.base_version = 1;
+  d2.version = 2;
+  d2.inserts = {Tuple{I(2)}};
+
+  e.EnqueueDerivedDelta("q", d2);  // early copy: gap at arrival time
+  e.EnqueueDerivedDelta("q", d1);
+  e.EnqueueDerivedDelta("q", d2);  // duplicate heals the stream
+  StageResult r = e.RunStage();
+  EXPECT_EQ(e.catalog().Get("view")->size(), 2u);
+  EXPECT_EQ(e.slice_store().StreamVersion("view", "q"), 2u);
+  EXPECT_EQ(r.outbound.count("q"), 0u);
+  EXPECT_EQ(e.propagation_counters().resyncs_requested, 0u);
 }
 
 TEST(EngineTest, ProgramListingMarksDelegatedRules) {

@@ -80,6 +80,37 @@ TEST_F(QueryTest, RepeatedQueriesDoNotCollide) {
   }
 }
 
+TEST_F(QueryTest, ScratchRelationsAreRecycled) {
+  // The first query may mint a fresh "__query_<n>" name (one interned
+  // symbol); every later sequential query must reuse a recycled name
+  // instead of growing the symbol table and the catalog.
+  ASSERT_TRUE(RunQuery(&system_, "alice", "likes@alice($w, $x)").ok());
+  size_t symbols_after_first = Symbol::TableSizeForTesting();
+  std::vector<std::string> catalog_after_first =
+      alice_->engine().catalog().RelationNames();
+
+  for (int i = 0; i < 10; ++i) {
+    // Alternate shapes (different arity) to prove the recycled relation
+    // is fully redeclared, not reused with a stale schema.
+    Result<QueryResult> wide =
+        RunQuery(&system_, "alice", "likes@alice($w, $x)");
+    ASSERT_TRUE(wide.ok()) << wide.status();
+    EXPECT_EQ(wide->rows.size(), 2u);
+    Result<QueryResult> narrow =
+        RunQuery(&system_, "alice", "likes@alice($w, \"jazz\")");
+    ASSERT_TRUE(narrow.ok()) << narrow.status();
+    EXPECT_EQ(narrow->rows.size(), 1u);
+    // Distributed flavor: delegations still tear down cleanly.
+    Result<QueryResult> remote = RunQuery(
+        &system_, "alice", "likes@alice($me, $x), likes@bob($other, $x)");
+    ASSERT_TRUE(remote.ok()) << remote.status();
+  }
+
+  EXPECT_EQ(Symbol::TableSizeForTesting(), symbols_after_first);
+  EXPECT_EQ(alice_->engine().catalog().RelationNames(),
+            catalog_after_first);
+}
+
 TEST_F(QueryTest, UnsafeQueryRejected) {
   // $p is a peer variable not bound by a previous atom.
   Result<QueryResult> r = RunQuery(&system_, "alice", "likes@$p($w, $x)");

@@ -2,7 +2,8 @@
 """Compare two merged bench baselines (schema wdl-bench-baseline-v1).
 
 Usage:
-  bench_compare.py BASELINE.json CURRENT.json [--suite SUITE] [--fail-below R]
+  bench_compare.py BASELINE.json CURRENT.json [--suite SUITE]
+                   [--fail-below R] [--counters PREFIX[,PREFIX...]]
 
 Prints a per-benchmark throughput table: baseline and current wall time
 per iteration, and the throughput ratio current-vs-baseline (>1 means
@@ -11,6 +12,11 @@ the current tree is faster: throughput in tuples/sec scales as
 mean follows. Exit status is 0 unless --fail-below is given and the
 overall geomean ratio falls below it (informational by default: bench
 boxes are noisy, especially CI runners).
+
+--counters adds a second table of custom benchmark counters whose names
+start with one of the given prefixes (default when the flag is given
+bare: the propagation-plane set "bytes,wire_,delta_,full_,resyncs") —
+how the tree's wire traffic moved, next to how its wall time moved.
 """
 
 import argparse
@@ -33,6 +39,63 @@ def load_suites(path):
     return suites
 
 
+# Google Benchmark emits custom counters as extra numeric keys on each
+# benchmark object, next to its standard fields.
+STANDARD_KEYS = {
+    "real_time", "cpu_time", "iterations", "threads",
+    "repetitions", "repetition_index", "family_index",
+    "per_family_instance_index", "time_unit",
+}
+
+
+def load_counters(path, prefixes):
+    with open(path) as f:
+        doc = json.load(f)
+    suites = {}
+    for suite, report in doc.get("suites", {}).items():
+        for bench in report.get("benchmarks", []):
+            if bench.get("run_type") != "iteration":
+                continue
+            for key, value in bench.items():
+                if key in STANDARD_KEYS or not isinstance(value, (int, float)):
+                    continue
+                if not any(key.startswith(p) for p in prefixes):
+                    continue
+                suites.setdefault(suite, {})[(bench["name"], key)] = value
+    return suites
+
+
+def print_counters(base_path, curr_path, prefixes, suite_filter):
+    base = load_counters(base_path, prefixes)
+    curr = load_counters(curr_path, prefixes)
+    suites = sorted(set(base) | set(curr))
+    if suite_filter:
+        suites = [s for s in suites if s in set(suite_filter)]
+    rows = []
+    for suite in suites:
+        for key in sorted(set(base.get(suite, {})) | set(curr.get(suite, {}))):
+            name, counter = key
+            b = base.get(suite, {}).get(key)
+            c = curr.get(suite, {}).get(key)
+            rows.append((f"{name}:{counter}", b, c))
+    if not rows:
+        return
+    name_w = max(len(r[0]) for r in rows) + 2
+    print()
+    print(f"counters ({','.join(prefixes)})")
+    print(f"{'benchmark:counter':<{name_w}} {'baseline':>14} {'current':>14} "
+          f"{'ratio':>8}")
+    print("-" * (name_w + 40))
+    for label, b, c in rows:
+        b_s = f"{b:,.0f}" if b is not None else "(absent)"
+        c_s = f"{c:,.0f}" if c is not None else "(absent)"
+        if b and c is not None and b > 0:
+            ratio = f"{c / b:>7.2f}x"
+        else:
+            ratio = f"{'-':>8}"
+        print(f"{label:<{name_w}} {b_s:>14} {c_s:>14} {ratio}")
+
+
 def fmt_time(ns):
     for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
         if ns >= scale:
@@ -53,6 +116,10 @@ def main():
     parser.add_argument("--fail-below", type=float, default=None,
                         help="exit 1 when the overall geomean throughput "
                              "ratio is below this value")
+    parser.add_argument("--counters", nargs="?", const="bytes,wire_,delta_,"
+                        "full_,resyncs", default=None, metavar="PREFIXES",
+                        help="also print custom counters whose names start "
+                             "with one of these comma-separated prefixes")
     args = parser.parse_args()
 
     base = load_suites(args.baseline)
@@ -99,6 +166,10 @@ def main():
             print(f"FAIL: overall geomean {overall:.2f}x is below "
                   f"{args.fail_below:.2f}x")
             return 1
+    if args.counters:
+        print_counters(args.baseline, args.current,
+                       [p for p in args.counters.split(",") if p],
+                       args.suite)
     return 0
 
 
