@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "parser/parser.h"
 #include "runtime/system.h"
 #include "wepic/wepic.h"
 
@@ -182,6 +183,69 @@ void BM_IncrementalSwap(benchmark::State& state) {
 }
 BENCHMARK(BM_IncrementalSwap)
     ->ArgsProduct({{0, 1}, {1000, 10000}})
+    ->Unit(benchmark::kMicrosecond);
+
+// P3 — the PR4 claim under test: with incremental maintenance, the
+// *compute* cost of a stage tracks the change size, not the view size
+// (PR3 already made the wire cost O(change)). A converged recursive
+// view (transitive closure over a chain; 10k or 100k tuples) absorbs a
+// one-tuple change per stage: each iteration appends one edge at the
+// chain's end (Δ-driven forward derivation) and removes it again
+// (support-counted DRed retraction), so state is steady across
+// iterations. Arg0 selects the mode (0 = clear-and-recompute oracle,
+// 1 = incremental), Arg1 the chain length (142 -> ~10k-tuple view,
+// 448 -> ~100k). Expected shape: recompute grows with the view,
+// incremental stays flat; the `examined_per_change` /
+// `retracted_per_change` counters prove the work is O(change).
+void BM_IncrementalStage(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  const int chain = static_cast<int>(state.range(1));
+
+  EngineOptions opts;
+  opts.use_incremental_maintenance = incremental;
+  Engine engine("a", opts);
+  Result<Program> program = ParseProgram(R"(
+    collection ext edge@a(x: int, y: int);
+    collection int tc@a(x: int, y: int);
+    rule tc@a($x, $y) :- edge@a($x, $y);
+    rule tc@a($x, $z) :- edge@a($x, $y), tc@a($y, $z);
+  )");
+  if (!program.ok() || !engine.LoadProgram(*program).ok()) {
+    state.SkipWithError("program load failed");
+    return;
+  }
+  for (int i = 0; i + 1 < chain; ++i) {
+    (void)engine.InsertFact(Fact("edge", "a", {I(i), I(i + 1)}));
+  }
+  while (engine.HasPendingWork()) (void)engine.RunStage();
+
+  const EvalCounters& ec = engine.eval_counters();
+  const uint64_t examined_before = ec.tuples_examined;
+  const uint64_t retracted_before = ec.tuples_retracted;
+  const uint64_t rederive_before = ec.rederive_checks;
+  const Fact extra("edge", "a", {I(chain - 1), I(chain)});
+  for (auto _ : state) {
+    (void)engine.InsertFact(extra);
+    while (engine.HasPendingWork()) (void)engine.RunStage();
+    (void)engine.RemoveFact(extra);
+    while (engine.HasPendingWork()) (void)engine.RunStage();
+  }
+
+  const double changes = 2.0 * static_cast<double>(state.iterations());
+  state.counters["view_size"] = static_cast<double>(
+      engine.catalog().Get("tc")->size());
+  state.counters["examined_per_change"] =
+      static_cast<double>(ec.tuples_examined - examined_before) / changes;
+  state.counters["retracted_per_change"] =
+      static_cast<double>(ec.tuples_retracted - retracted_before) / changes;
+  state.counters["rederive_checks_per_change"] =
+      static_cast<double>(ec.rederive_checks - rederive_before) / changes;
+  state.counters["stages_incremental"] =
+      static_cast<double>(ec.stages_incremental);
+  state.counters["stages_full"] = static_cast<double>(ec.stages_full);
+}
+BENCHMARK(BM_IncrementalStage)
+    ->ArgsProduct({{0, 1}, {142, 448}})
     ->Unit(benchmark::kMicrosecond);
 
 // Incremental propagation: with the pipeline warm, one more upload.

@@ -9,6 +9,7 @@ namespace wdl {
 
 Engine::Engine(std::string self_peer, EngineOptions options)
     : self_peer_(std::move(self_peer)),
+      self_sym_(Symbol::Intern(self_peer_)),
       options_(options),
       catalog_(self_peer_),
       evaluator_(&catalog_, self_peer_,
@@ -63,14 +64,21 @@ Status Engine::ValidateNewRule(const Rule& rule) const {
   return Status::OK();
 }
 
+void Engine::NoteRuleSetChanged() {
+  dirty_ = true;
+  rules_changed_ = true;
+}
+
 Result<uint64_t> Engine::AddRule(const Rule& rule) {
   WDL_RETURN_IF_ERROR(ValidateNewRule(rule));
   InstalledRule ir;
   ir.id = next_rule_id_++;
   ir.rule = rule;
   ir.origin_peer = self_peer_;
+  ir.rule_hash = rule.Hash();
+  ir.info = ComputeStaticInfo(rule);
   rules_.push_back(std::move(ir));
-  dirty_ = true;
+  NoteRuleSetChanged();
   return rules_.back().id;
 }
 
@@ -79,7 +87,7 @@ Status Engine::RemoveRule(uint64_t id) {
     if (it->id == id) {
       evaluator_.EvictPlan(it->rule);
       rules_.erase(it);
-      dirty_ = true;
+      NoteRuleSetChanged();
       return Status::OK();
     }
   }
@@ -102,13 +110,16 @@ Status Engine::InstallDelegatedRule(const Delegation& delegation) {
   ir.rule = delegation.rule;
   ir.origin_peer = delegation.origin_peer;
   ir.delegation_key = key;
+  ir.rule_hash = delegation.rule.Hash();
+  ir.info = ComputeStaticInfo(delegation.rule);
   rules_.push_back(std::move(ir));
-  dirty_ = true;
+  NoteRuleSetChanged();
   return Status::OK();
 }
 
 void Engine::RetractDelegatedRule(uint64_t delegation_key) {
   dirty_ = true;
+  size_t before = rules_.size();
   rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
                               [&](const InstalledRule& ir) {
                                 if (ir.delegation_key != delegation_key) {
@@ -118,6 +129,7 @@ void Engine::RetractDelegatedRule(uint64_t delegation_key) {
                                 return true;
                               }),
                rules_.end());
+  if (rules_.size() != before) NoteRuleSetChanged();
 }
 
 Result<bool> Engine::InsertFact(const Fact& fact) {
@@ -133,7 +145,11 @@ Result<bool> Engine::InsertFact(const Fact& fact) {
         " is intensional (a view); base updates are not allowed");
   }
   dirty_ = true;
-  return catalog_.InsertFact(fact);
+  Result<bool> r = catalog_.InsertFact(fact);
+  if (options_.use_incremental_maintenance && r.ok() && *r) {
+    direct_changes_.RecordInsert(fact.relation, fact.args);
+  }
+  return r;
 }
 
 Result<bool> Engine::RemoveFact(const Fact& fact) {
@@ -148,7 +164,11 @@ Result<bool> Engine::RemoveFact(const Fact& fact) {
         " is intensional (a view); base updates are not allowed");
   }
   dirty_ = true;
-  return catalog_.RemoveFact(fact);
+  Result<bool> r = catalog_.RemoveFact(fact);
+  if (options_.use_incremental_maintenance && r.ok() && *r) {
+    direct_changes_.RecordRemove(fact.relation, fact.args);
+  }
+  return r;
 }
 
 void Engine::EnqueueFactInserts(std::vector<Fact> facts) {
@@ -191,10 +211,11 @@ bool Engine::HasPendingWork() const {
   return dirty_ || !inbound_inserts_.empty() || !inbound_deletes_.empty() ||
          !inbound_derived_.empty() || !pending_resync_serves_.empty() ||
          !pending_self_updates_.empty() || !pending_self_deletes_.empty() ||
-         !ran_any_stage_;
+         !pending_delete_rechecks_.empty() || !ran_any_stage_;
 }
 
-void Engine::ApplyInputs(StageStats* stats, bool* changed) {
+void Engine::ApplyInputs(StageStats* stats, bool* changed,
+                         StageChangeLog* log) {
   (void)stats;
   // Deferred self-updates from the previous stage land first.
   for (const Fact& f : pending_self_updates_) {
@@ -204,13 +225,17 @@ void Engine::ApplyInputs(StageStats* stats, bool* changed) {
                      << " failed: " << r.status();
     } else if (*r) {
       *changed = true;
+      if (log != nullptr) log->RecordInsert(f.relation, f.args);
     }
   }
   pending_self_updates_.clear();
 
   for (const Fact& f : pending_self_deletes_) {
     Result<bool> r = catalog_.RemoveFact(f);
-    if (r.ok() && *r) *changed = true;
+    if (r.ok() && *r) {
+      *changed = true;
+      if (log != nullptr) log->RecordRemove(f.relation, f.args);
+    }
   }
   pending_self_deletes_.clear();
 
@@ -227,31 +252,78 @@ void Engine::ApplyInputs(StageStats* stats, bool* changed) {
                      << " failed: " << r.status();
     } else if (*r) {
       *changed = true;
+      if (log != nullptr) log->RecordInsert(f.relation, f.args);
     }
   }
   inbound_inserts_.clear();
 
   for (const Fact& f : inbound_deletes_) {
+    if (log != nullptr) {
+      // Incremental mode: a base delete aimed at a view has no durable
+      // effect (the recompute oracle re-seeds the view in the same
+      // stage, netting it out) — skip it instead of corrupting the
+      // persistent view state.
+      const Relation* rel = catalog_.Get(f.relation);
+      if (rel != nullptr && rel->kind() == RelationKind::kIntensional) {
+        continue;
+      }
+    }
     Result<bool> r = catalog_.RemoveFact(f);
-    if (r.ok() && *r) *changed = true;
+    if (r.ok() && *r) {
+      *changed = true;
+      if (log != nullptr) log->RecordRemove(f.relation, f.args);
+    }
   }
   inbound_deletes_.clear();
 
   for (InboundDerived& in : inbound_derived_) {
-    ApplyInboundDerived(in, changed);
+    ApplyInboundDerived(in, changed, log);
   }
   inbound_derived_.clear();
 }
 
-void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed) {
+void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed,
+                                 StageChangeLog* log) {
   DerivedDelta& d = in.delta;
+
+  // Version-only heartbeat (version == base_version, no payload): the
+  // sender is telling us where its stream stands. If we have applied
+  // less, a frame was lost and no later traffic repaired it — ask for a
+  // resync; otherwise ignore. Never commits a version or applies data.
+  if (in.versioned && !d.snapshot && d.version == d.base_version) {
+    if (slice_store_.StreamVersion(d.relation, in.sender) < d.version) {
+      uint64_t& missing = resync_needed_[{in.sender, d.relation}];
+      missing = std::max(missing, d.version);
+      ++prop_counters_.heartbeat_gaps_detected;
+    }
+    return;
+  }
+
   Relation* rel = catalog_.Get(d.relation);
   if (rel == nullptr) {
     // A peer is telling us about a relation we do not know yet: the
     // paper's "peers may discover new relations". Create it as
     // extensional with inferred arity. A tuple-less update to an
-    // unknown relation has nothing to create or apply.
-    if (d.inserts.empty()) return;
+    // unknown relation has nothing to create or apply — but a
+    // *versioned* one still moves the stream: without the commit, an
+    // empty resync snapshot would leave the applied version behind and
+    // every later heartbeat would re-request the same resync forever.
+    if (d.inserts.empty()) {
+      if (in.versioned) {
+        SliceStore::Gate gate =
+            d.snapshot
+                ? slice_store_.CheckSnapshot(d.relation, in.sender, d.version)
+                : slice_store_.CheckDelta(d.relation, in.sender,
+                                          d.base_version, d.version);
+        if (gate == SliceStore::Gate::kApply) {
+          slice_store_.CommitVersion(d.relation, in.sender, d.version);
+        } else if (gate == SliceStore::Gate::kGap) {
+          uint64_t& missing = resync_needed_[{in.sender, d.relation}];
+          missing = std::max(missing, d.version);
+        }
+      }
+      return;
+    }
     RelationDecl decl;
     decl.relation = d.relation;
     decl.peer = self_peer_;
@@ -274,12 +346,16 @@ void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed) {
     // deltas can only add facts the sender really derived); the version
     // gate below only decides bookkeeping and gap repair.
     for (Tuple& t : d.inserts) {
-      Result<bool> r = rel->Insert(std::move(t));
+      // Copy instead of move when recording: the change log needs the
+      // tuple after a successful insert.
+      Result<bool> r =
+          log != nullptr ? rel->Insert(t) : rel->Insert(std::move(t));
       if (!r.ok()) {
         WDL_LOG(Error) << "inbound derived tuple rejected by "
                        << rel->decl().PredicateId() << ": " << r.status();
       } else if (*r) {
         *changed = true;
+        if (log != nullptr) log->RecordInsert(d.relation, t);
       }
     }
     if (in.versioned) {
@@ -310,12 +386,29 @@ void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed) {
     return set;
   };
 
+  // Support transitions (view membership gained/lost) feed the
+  // incremental maintenance log; the recompute oracle re-seeds views
+  // from the aggregate support map instead and skips the bookkeeping.
+  std::vector<Tuple> gained_storage, lost_storage;
+  std::vector<Tuple>* gained = log != nullptr ? &gained_storage : nullptr;
+  std::vector<Tuple>* lost = log != nullptr ? &lost_storage : nullptr;
+  auto record_transitions = [&]() {
+    if (log == nullptr) return;
+    for (Tuple& t : gained_storage) {
+      log->RecordSliceGain(d.relation, std::move(t));
+    }
+    for (Tuple& t : lost_storage) {
+      log->RecordSliceLoss(d.relation, std::move(t));
+    }
+  };
+
   if (!in.versioned) {
     // Full-slice protocol: replace wholesale. Change detection compares
     // the stored and arriving sets directly — a hash collision must
     // never suppress a real view change.
-    *changed |=
-        slice_store_.ReplaceSlice(d.relation, in.sender, filtered(d.inserts));
+    *changed |= slice_store_.ReplaceSlice(d.relation, in.sender,
+                                          filtered(d.inserts), gained, lost);
+    record_transitions();
     return;
   }
 
@@ -329,7 +422,7 @@ void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed) {
       if (d.snapshot) {
         *changed |= slice_store_.ApplySnapshot(d.relation, in.sender,
                                                filtered(d.inserts),
-                                               d.version);
+                                               d.version, gained, lost);
       } else {
         // Validate in place; ApplyDelta dedups per tuple itself.
         d.inserts.erase(
@@ -340,8 +433,10 @@ void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed) {
             d.inserts.end());
         *changed |= slice_store_.ApplyDelta(d.relation, in.sender,
                                             std::move(d.inserts),
-                                            d.deletes, d.version);
+                                            d.deletes, d.version, gained,
+                                            lost);
       }
+      record_transitions();
       break;
     case SliceStore::Gate::kStale:
       break;  // duplicate or reordered-old update: already reflected
@@ -355,7 +450,13 @@ void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed) {
   }
 }
 
-void Engine::SeedIntensionalFromContributions() {
+void Engine::ClearIntensionalRelations() {
+  catalog_.ForEachRelation([](Relation& rel) {
+    if (rel.kind() == RelationKind::kIntensional) rel.Clear();
+  });
+}
+
+void Engine::SeedIntensionalFromContributions(bool track_support) {
   slice_store_.ForEachContributedRelation([&](const std::string& name) {
     Relation* rel = catalog_.Get(name);
     if (rel == nullptr || rel->kind() != RelationKind::kIntensional) return;
@@ -363,7 +464,9 @@ void Engine::SeedIntensionalFromContributions() {
       Result<bool> r = rel->Insert(t);
       if (!r.ok()) {
         WDL_LOG(Warning) << "contribution tuple rejected: " << r.status();
+        return;
       }
+      if (track_support) tracker_.Ensure(name, t).external = true;
     });
   });
 }
@@ -373,7 +476,8 @@ void Engine::RunFixpoint(
     std::map<uint64_t, Delegation>* delegations,
     std::unordered_set<Fact, FactHasher>* self_updates,
     std::unordered_set<Fact, FactHasher>* self_deletes,
-    std::unordered_set<Fact, FactHasher>* remote_deletes) {
+    std::unordered_set<Fact, FactHasher>* remote_deletes,
+    DerivationTracker* tracker) {
   // Stratify the active rule set (single stratum when negation-free).
   std::vector<Rule> rule_bodies;
   rule_bodies.reserve(rules_.size());
@@ -437,6 +541,13 @@ void Engine::RunFixpoint(
         return;
       }
       if (intensional) {
+        // Every derivation event marks rule support, including events
+        // for tuples already resident (slice-seeded or re-derived):
+        // semi-naive evaluation fires each valid derivation at least
+        // once, so after the fixpoint the derived bit is exact.
+        if (tracker != nullptr) {
+          tracker->Ensure(f.relation, f.args).derived = true;
+        }
         Result<bool> r = rel->Insert(f.args);
         if (r.ok() && *r) {
           next_delta[rel->symbol()].Insert(f.args);
@@ -516,6 +627,20 @@ std::vector<Tuple> SortedVector(
 }
 }  // namespace
 
+void Engine::ClearDeleteSuppression(const std::string& relation,
+                                    const std::string& peer,
+                                    const Tuple& tuple) {
+  Fact f(relation, peer, tuple);
+  if (sent_remote_deletes_.erase(f) == 0) return;
+  // The fact went out as an insert after we had shipped its deletion:
+  // if a deletion rule still derives it, the deletion must ship again.
+  // The next stage settles the verdict — the recompute oracle re-fires
+  // every deletion rule there anyway; the incremental path re-checks
+  // exactly the queued facts.
+  pending_delete_rechecks_.insert(std::move(f));
+  dirty_ = true;
+}
+
 /// Contribution sets ship only when they changed — decided by direct
 /// set comparison against what was last sent (hash-collision-proof).
 /// Under full-slice the whole contribution is re-sent; under the
@@ -574,6 +699,9 @@ void Engine::EmitContributions(
       }
       std::sort(dd.inserts.begin(), dd.inserts.end());
       std::sort(dd.deletes.begin(), dd.deletes.end());
+      for (const Tuple& t : dd.inserts) {
+        ClearDeleteSuppression(key.relation, key.target_peer, t);
+      }
       result->stats.derived_tuples_out +=
           dd.inserts.size() + dd.deletes.size();
       prop_counters_.delta_inserts_shipped += dd.inserts.size();
@@ -586,6 +714,11 @@ void Engine::EmitContributions(
       ds.target_peer = key.target_peer;
       ds.relation = key.relation;
       ds.tuples = SortedVector(set);
+      // The full set re-sends every tuple as an insert; each one lands
+      // at the receiver again, so each one lifts its suppression.
+      for (const Tuple& t : ds.tuples) {
+        ClearDeleteSuppression(key.relation, key.target_peer, t);
+      }
       result->stats.derived_tuples_out += ds.tuples.size();
       prop_counters_.full_tuples_shipped += ds.tuples.size();
       ++prop_counters_.full_sets_shipped;
@@ -596,10 +729,87 @@ void Engine::EmitContributions(
     ++sent.version;
   }
 
+  ServeResyncs(result);
+}
+
+/// The O(change) emission path of incremental stages: only keys whose
+/// contribution actually changed this stage are visited, and the delta
+/// payload comes straight from the recorded per-stage changes instead
+/// of a full set diff.
+void Engine::EmitContributionsIncremental(
+    std::map<ContributionKey, TupleSet>* contrib_added,
+    std::map<ContributionKey, TupleSet>* contrib_removed,
+    StageResult* result) {
+  const bool differential = options_.use_differential_propagation;
+  std::set<ContributionKey> dirty;
+  for (const auto& [key, tuples] : *contrib_added) {
+    if (!tuples.empty()) dirty.insert(key);
+  }
+  for (const auto& [key, tuples] : *contrib_removed) {
+    if (!tuples.empty()) dirty.insert(key);
+  }
+
+  for (const ContributionKey& key : dirty) {
+    SentContribution& sent = sent_contributions_[key];
+    TupleSet& adds = (*contrib_added)[key];
+    TupleSet& rems = (*contrib_removed)[key];
+    if (differential) {
+      DerivedDelta dd;
+      dd.target_peer = key.target_peer;
+      dd.relation = key.relation;
+      dd.base_version = sent.version;
+      dd.version = sent.version + 1;
+      dd.inserts = SortedVector(adds);
+      dd.deletes = SortedVector(rems);
+      for (const Tuple& t : dd.inserts) {
+        sent.tuples.insert(t);
+        ClearDeleteSuppression(key.relation, key.target_peer, t);
+      }
+      for (const Tuple& t : dd.deletes) sent.tuples.erase(t);
+      result->stats.derived_tuples_out +=
+          dd.inserts.size() + dd.deletes.size();
+      prop_counters_.delta_inserts_shipped += dd.inserts.size();
+      prop_counters_.delta_deletes_shipped += dd.deletes.size();
+      ++prop_counters_.deltas_shipped;
+      result->outbound[key.target_peer].derived_deltas.push_back(
+          std::move(dd));
+    } else {
+      DerivedSet ds;
+      ds.target_peer = key.target_peer;
+      ds.relation = key.relation;
+      auto it = current_contributions_.find(key);
+      if (it != current_contributions_.end()) {
+        ds.tuples = SortedVector(it->second);
+        sent.tuples = it->second;
+      } else {
+        sent.tuples.clear();
+      }
+      for (const Tuple& t : ds.tuples) {
+        ClearDeleteSuppression(key.relation, key.target_peer, t);
+      }
+      result->stats.derived_tuples_out += ds.tuples.size();
+      prop_counters_.full_tuples_shipped += ds.tuples.size();
+      ++prop_counters_.full_sets_shipped;
+      result->outbound[key.target_peer].derived_sets.push_back(
+          std::move(ds));
+    }
+    ++sent.version;
+    // Emptied contributions leave the current map (mirrors the
+    // recompute path, where an underived key simply stops appearing).
+    auto cur = current_contributions_.find(key);
+    if (cur != current_contributions_.end() && cur->second.empty()) {
+      current_contributions_.erase(cur);
+    }
+  }
+
+  ServeResyncs(result);
+}
+
+void Engine::ServeResyncs(StageResult* result) {
   // Serve resync requests: a full snapshot of the current contribution
-  // at its current version (possibly just updated above — if a regular
-  // delta for the same key also shipped this stage, the snapshot
-  // subsumes it at the receiver).
+  // at its current version (possibly just updated by contribution
+  // emission — if a regular delta for the same key also shipped this
+  // stage, the snapshot subsumes it at the receiver).
   for (const auto& [peer, relation] : pending_resync_serves_) {
     ContributionKey key{peer, relation};
     DerivedDelta dd;
@@ -610,6 +820,12 @@ void Engine::EmitContributions(
     if (it != sent_contributions_.end()) {
       dd.version = it->second.version;
       dd.inserts = SortedVector(it->second.tuples);
+    }
+    // A snapshot re-ships every tuple as an insert, exactly like a full
+    // set: each one lands at the receiver again and lifts any pending
+    // delete suppression for that fact.
+    for (const Tuple& t : dd.inserts) {
+      ClearDeleteSuppression(relation, peer, t);
     }
     result->stats.derived_tuples_out += dd.inserts.size();
     ++prop_counters_.snapshots_shipped;
@@ -632,6 +848,33 @@ void Engine::EmitContributions(
   resync_needed_.clear();
 }
 
+void Engine::EmitDelegationDiff(std::map<uint64_t, Delegation> delegations,
+                                StageResult* result) {
+  for (const auto& [key, d] : delegations) {
+    if (!sent_delegations_.count(key)) {
+      result->outbound[d.target_peer].delegation_installs.push_back(d);
+    }
+  }
+  for (const auto& [key, d] : sent_delegations_) {
+    if (!delegations.count(key)) {
+      result->outbound[d.target_peer].delegation_retracts.push_back(key);
+    }
+  }
+  sent_delegations_ = std::move(delegations);
+  result->stats.delegations_active = sent_delegations_.size();
+}
+
+void Engine::FinalizeOutbound(StageResult* result) {
+  for (auto it = result->outbound.begin(); it != result->outbound.end();) {
+    if (it->second.empty()) {
+      it = result->outbound.erase(it);
+    } else {
+      result->stats.messages_out += it->second.MessageCount();
+      ++it;
+    }
+  }
+}
+
 uint64_t Engine::IntensionalContentHash() const {
   uint64_t h = 0;
   TupleHasher hasher;
@@ -645,76 +888,615 @@ uint64_t Engine::IntensionalContentHash() const {
   return h;
 }
 
+void Engine::RefreshProgramInfo() {
+  program_info_ = ProgramInfo();
+  // The naive-mode ablation measures full-fixpoint cost; Δ-driven
+  // stages would bypass exactly what it measures.
+  program_info_.incremental_ok = options_.mode == EvalMode::kSemiNaive;
+  bool any_negation = false;
+  for (const InstalledRule& ir : rules_) {
+    if (ir.info.negated_relation_var) {
+      // A negated atom that names its relation with a variable can read
+      // any relation: no change is provably outside its footprint.
+      program_info_.incremental_ok = false;
+      any_negation = true;
+    }
+    for (Symbol s : ir.info.negated_relations) {
+      any_negation = true;
+      program_info_.negated_ids.insert(s.id());
+    }
+  }
+  if (any_negation) {
+    // Derivations must never write a negated relation, or stratified
+    // re-evaluation order matters mid-Δ and the incremental pass is
+    // unsound. Direct EDB changes to negated relations are caught per
+    // stage in ChangesEligible.
+    for (const InstalledRule& ir : rules_) {
+      if (ir.info.head_relation_var ||
+          program_info_.negated_ids.count(ir.info.head_relation.id())) {
+        program_info_.incremental_ok = false;
+        break;
+      }
+    }
+  }
+}
+
+bool Engine::ChangesEligible(const StageChangeLog& log) const {
+  if (log.empty()) return true;  // nothing to propagate: trivially sound
+  if (!program_info_.incremental_ok) return false;
+  bool ok = true;
+  log.ForEachChangedRelation([&](const std::string& name) {
+    Symbol s = Symbol::Find(name);
+    if (s.valid() && program_info_.negated_ids.count(s.id())) ok = false;
+  });
+  return ok;
+}
+
+bool Engine::HasLocalDerivation(const Fact& target) {
+  for (const InstalledRule& ir : rules_) {
+    if (ir.rule.head_deletes) continue;
+    if (evaluator_.ExistsDerivation(ir.rule, target)) return true;
+  }
+  return false;
+}
+
 StageResult Engine::RunStage() {
   StageResult result;
   result.stats.active_rules = rules_.size();
   ran_any_stage_ = true;
   dirty_ = false;
 
-  // Step 1: load inputs received since the previous stage.
+  const bool rule_set_changed = rules_changed_;
+  if (rule_set_changed) {
+    RefreshProgramInfo();
+    rules_changed_ = false;
+  }
+
   bool changed_local = false;
-  ApplyInputs(&result.stats, &changed_local);
+  if (!options_.use_incremental_maintenance) {
+    // Step 1: load inputs received since the previous stage.
+    ApplyInputs(&result.stats, &changed_local, nullptr);
+    RunStageRecompute(&result, changed_local,
+                      /*rebuild_derived_state=*/false);
+    return result;
+  }
+
+  StageChangeLog log = std::move(direct_changes_);
+  direct_changes_ = StageChangeLog();
+  ApplyInputs(&result.stats, &changed_local, &log);
+
+  if (!derived_state_ready_ || rule_set_changed || !ChangesEligible(log)) {
+    RunStageRecompute(&result, changed_local, /*rebuild_derived_state=*/true);
+  } else {
+    RunStageIncremental(&result, changed_local, &log);
+  }
+  return result;
+}
+
+void Engine::RunStageRecompute(StageResult* result, bool changed_local,
+                               bool rebuild_derived_state) {
+  DerivationTracker* tracker = nullptr;
+  uint64_t pre_hash = 0;
+  // A full fixpoint re-derives every deletion-rule verdict, so the
+  // queued per-fact rechecks are subsumed (this path *is* the oracle
+  // behavior the rechecks emulate).
+  pending_delete_rechecks_.clear();
+  if (rebuild_derived_state) {
+    ++evaluator_.mutable_counters()->stages_full;
+    pre_hash = IntensionalContentHash();
+    tracker_.Clear();
+    tracker = &tracker_;
+  }
 
   // Step 2: local fixpoint. Intensional relations are views: reset, then
   // re-seed with remote contributions, then derive.
-  catalog_.ClearIntensional();
-  SeedIntensionalFromContributions();
+  ClearIntensionalRelations();
+  SeedIntensionalFromContributions(/*track_support=*/tracker != nullptr);
 
   std::map<ContributionKey, TupleSet> contributions;
   std::map<uint64_t, Delegation> delegations;
   std::unordered_set<Fact, FactHasher> self_updates;
   std::unordered_set<Fact, FactHasher> self_deletes;
   std::unordered_set<Fact, FactHasher> remote_deletes;
-  RunFixpoint(&result.stats, &contributions, &delegations, &self_updates,
-              &self_deletes, &remote_deletes);
+  RunFixpoint(&result->stats, &contributions, &delegations, &self_updates,
+              &self_deletes, &remote_deletes, tracker);
 
   pending_self_updates_ = std::move(self_updates);
   pending_self_deletes_ = std::move(self_deletes);
 
   // Remote deletions ship once per unique fact (idempotent at the
-  // receiver; re-sending is pure waste).
+  // receiver; re-sending is pure waste until an insert re-ships it).
   for (const Fact& f : remote_deletes) {
     if (sent_remote_deletes_.insert(f).second) {
-      result.outbound[f.peer].fact_deletes.push_back(f);
+      result->outbound[f.peer].fact_deletes.push_back(f);
     }
+  }
+
+  if (rebuild_derived_state) {
+    // Snapshot the derived outputs before emission consumes them: they
+    // are the baseline the next incremental stages evolve.
+    current_contributions_ = contributions;
+    current_delegations_ = delegations;
   }
 
   // Step 3: emit facts (updates) and rules (delegations) to other peers.
-  EmitContributions(&contributions, &result);
+  EmitContributions(&contributions, result);
+  EmitDelegationDiff(std::move(delegations), result);
+  FinalizeOutbound(result);
 
-  // Delegation diff: install the new, retract the vanished.
-  for (const auto& [key, d] : delegations) {
-    if (!sent_delegations_.count(key)) {
-      result.outbound[d.target_peer].delegation_installs.push_back(d);
-    }
-  }
-  for (const auto& [key, d] : sent_delegations_) {
-    if (!delegations.count(key)) {
-      result.outbound[d.target_peer].delegation_retracts.push_back(key);
-    }
-  }
-  sent_delegations_ = std::move(delegations);
-  result.stats.delegations_active = sent_delegations_.size();
-
-  // Drop empty outbound buckets.
-  for (auto it = result.outbound.begin(); it != result.outbound.end();) {
-    if (it->second.empty()) {
-      it = result.outbound.erase(it);
-    } else {
-      result.stats.messages_out += it->second.MessageCount();
-      ++it;
-    }
-  }
-
+  bool views_changed;
   uint64_t intensional_hash = IntensionalContentHash();
-  bool views_changed = intensional_hash != prev_intensional_hash_;
+  if (rebuild_derived_state) {
+    // Incremental stages don't maintain the cross-stage hash, so a
+    // fallback stage compares its own before/after states instead.
+    views_changed = intensional_hash != pre_hash;
+    derived_state_ready_ = true;
+  } else {
+    views_changed = intensional_hash != prev_intensional_hash_;
+  }
   prev_intensional_hash_ = intensional_hash;
 
-  result.changed = changed_local || views_changed ||
-                   !result.outbound.empty() ||
-                   !pending_self_updates_.empty() ||
-                   !pending_self_deletes_.empty();
-  return result;
+  result->changed = changed_local || views_changed ||
+                    !result->outbound.empty() ||
+                    !pending_self_updates_.empty() ||
+                    !pending_self_deletes_.empty() ||
+                    !pending_delete_rechecks_.empty();
+}
+
+void Engine::RunStageIncremental(StageResult* result, bool changed_local,
+                                 StageChangeLog* log) {
+  EvalCounters* counters = evaluator_.mutable_counters();
+  ++counters->stages_incremental;
+  StageStats* stats = &result->stats;
+  uint64_t tuples_before = evaluator_.counters().tuples_examined;
+  bool state_mutated = false;
+
+  // Per-stage contribution changes, netted (a tuple removed by the
+  // deletion cascade and restored by re-derivation or the insert pass
+  // must not ship at all).
+  std::map<ContributionKey, TupleSet> contrib_added;
+  std::map<ContributionKey, TupleSet> contrib_removed;
+  auto record_contrib_add = [&](const ContributionKey& key, const Tuple& t) {
+    auto it = contrib_removed.find(key);
+    if (it != contrib_removed.end() && it->second.erase(t) > 0) return;
+    contrib_added[key].insert(t);
+  };
+  auto record_contrib_remove = [&](const ContributionKey& key,
+                                   const Tuple& t) {
+    auto it = contrib_added.find(key);
+    if (it != contrib_added.end() && it->second.erase(t) > 0) return;
+    contrib_removed[key].insert(t);
+  };
+
+  std::unordered_set<Fact, FactHasher> self_updates;
+  std::unordered_set<Fact, FactHasher> self_deletes;
+  std::unordered_set<Fact, FactHasher> remote_deletes;
+
+  // Resolve each active rule's compiled plan once (mirrors RunFixpoint).
+  struct ActiveRule {
+    const InstalledRule* ir;
+    const RulePlan* plan;
+  };
+  std::vector<ActiveRule> active;
+  active.reserve(rules_.size());
+  for (const InstalledRule& ir : rules_) {
+    active.push_back(ActiveRule{
+        &ir, options_.use_compiled_plans ? &evaluator_.PlanFor(ir.rule)
+                                         : nullptr});
+  }
+  auto body_reads_delta = [](const ActiveRule& ar, const DeltaMap& delta) {
+    for (const auto& [sym, ds] : delta) {
+      if (!ds.empty() && ar.ir->info.BodyReads(sym)) return true;
+    }
+    return false;
+  };
+
+  bool current_rule_deletes = false;
+  DeltaMap next_delta;
+
+  // The forward (insert) sinks: also used by the full re-fires below —
+  // every action is idempotent against resident state.
+  RuleEvaluator::Sinks sinks;
+  sinks.on_local_fact = [&](const Fact& f) {
+    Relation* rel = catalog_.Get(f.relation);
+    bool intensional =
+        rel != nullptr && rel->kind() == RelationKind::kIntensional;
+    if (current_rule_deletes) {
+      if (intensional) {
+        WDL_LOG(Warning) << "deletion rule derived into view "
+                         << f.PredicateId() << "; dropped";
+      } else if (rel != nullptr && rel->Contains(f.args)) {
+        self_deletes.insert(f);  // deferred, Bud's <-
+      }
+      return;
+    }
+    if (intensional) {
+      tracker_.Ensure(f.relation, f.args).derived = true;
+      Result<bool> r = rel->Insert(f.args);
+      if (r.ok() && *r) {
+        next_delta[rel->symbol()].Insert(f.args);
+        ++stats->local_derivations;
+        state_mutated = true;
+      }
+    } else if (rel == nullptr || !rel->Contains(f.args)) {
+      self_updates.insert(f);  // deferred, Bud's <+
+    }
+  };
+  sinks.on_remote_fact = [&](const Fact& f) {
+    if (current_rule_deletes) {
+      remote_deletes.insert(f);
+      return;
+    }
+    ContributionKey key{f.peer, f.relation};
+    if (current_contributions_[key].insert(f.args).second) {
+      record_contrib_add(key, f.args);
+    }
+  };
+  bool delegations_changed = false;
+  sinks.on_delegation = [&](const Delegation& d) {
+    delegations_changed |= current_delegations_.emplace(d.Key(), d).second;
+  };
+
+  auto evaluate = [&](const ActiveRule& ar, const RuleEvaluator::Sinks& s,
+                      const DeltaMap* delta, int pos) {
+    current_rule_deletes = ar.ir->rule.head_deletes;
+    if (ar.plan != nullptr) {
+      evaluator_.EvaluatePlan(*ar.plan, delta, pos, s);
+    } else {
+      evaluator_.Evaluate(ar.ir->rule, delta, pos, s);
+    }
+  };
+  auto evaluate_delta_positions = [&](const ActiveRule& ar,
+                                      const RuleEvaluator::Sinks& s,
+                                      const DeltaMap* delta) {
+    const Rule& rule = ar.ir->rule;
+    for (size_t pos = 0; pos < rule.body.size(); ++pos) {
+      if (rule.body[pos].negated) continue;
+      evaluate(ar, s, delta, static_cast<int>(pos));
+    }
+  };
+
+  // ---- Deletion-verdict rechecks queued by insert re-ships ----------
+  for (const Fact& f : pending_delete_rechecks_) {
+    for (const ActiveRule& ar : active) {
+      if (!ar.ir->rule.head_deletes) continue;
+      if (evaluator_.ExistsDerivation(ar.ir->rule, f)) {
+        remote_deletes.insert(f);
+        break;
+      }
+    }
+  }
+  pending_delete_rechecks_.clear();
+
+  // ---- Deletion phase: seeds ----------------------------------------
+  // Net-removed extensional tuples were already taken out by
+  // ApplyInputs; ghost-reinsert them so over-delete matching sees the
+  // pre-deletion database (a derivation joining two deleted tuples must
+  // still be discoverable from either Δ⁻ position).
+  DeltaMap frontier;
+  std::vector<std::pair<Relation*, const Tuple*>> ghosts;
+  for (const auto& [rel_name, tuples] : log->removed()) {
+    Relation* rel = catalog_.Get(rel_name);
+    if (rel == nullptr) continue;
+    for (const Tuple& t : tuples) {
+      Result<bool> r = rel->Insert(t);
+      if (r.ok() && *r) ghosts.emplace_back(rel, &t);
+      frontier[rel->symbol()].Insert(t);
+    }
+  }
+  // View tuples whose slice support withdrew: external bit drops; the
+  // tuple dies — and cascades — only when no rule derivation holds it
+  // either (the support count hitting zero).
+  std::map<std::string, TupleSet> marked;
+  for (const auto& [rel_name, tuples] : log->slice_lost()) {
+    Relation* rel = catalog_.Get(rel_name);
+    if (rel == nullptr || rel->kind() != RelationKind::kIntensional) {
+      continue;
+    }
+    for (const Tuple& t : tuples) {
+      TupleSupport* s = tracker_.Find(rel_name, t);
+      if (s != nullptr) s->external = false;
+      if (s != nullptr && s->derived) continue;  // count still positive
+      if (rel->Contains(t)) {
+        frontier[rel->symbol()].Insert(t);
+        marked[rel_name].insert(t);
+      }
+    }
+  }
+  // Slice support gained: the external bit rises immediately (so the
+  // cascade below never retracts through these tuples); the physical
+  // insert seeds the forward pass after deletions settle.
+  for (const auto& [rel_name, tuples] : log->slice_gained()) {
+    Relation* rel = catalog_.Get(rel_name);
+    if (rel == nullptr || rel->kind() != RelationKind::kIntensional) {
+      continue;
+    }
+    for (const Tuple& t : tuples) {
+      tracker_.Ensure(rel_name, t).external = true;
+    }
+  }
+
+  // ---- Over-delete closure (marking; nothing removed yet) -----------
+  std::map<ContributionKey, TupleSet> marked_contrib;
+  std::unordered_set<Fact, FactHasher> recheck_derived;
+  const bool any_deletions = !frontier.empty();
+
+  RuleEvaluator::Sinks del_sinks;
+  del_sinks.on_local_fact = [&](const Fact& f) {
+    if (current_rule_deletes) return;  // deletion rules sustain nothing
+    Relation* rel = catalog_.Get(f.relation);
+    if (rel == nullptr || rel->kind() != RelationKind::kIntensional) {
+      return;  // extensional updates persist; never retract them
+    }
+    if (!rel->Contains(f.args)) return;
+    TupleSet& m = marked[f.relation];
+    if (m.count(f.args) > 0) return;
+    TupleSupport* s = tracker_.Find(f.relation, f.args);
+    if (s != nullptr && s->external) {
+      // Remote support keeps the count positive: no cascade. The
+      // derived bit may have just gone stale, though — re-check it once
+      // the deletions have settled.
+      recheck_derived.insert(f);
+      return;
+    }
+    m.insert(f.args);
+    next_delta[rel->symbol()].Insert(f.args);
+  };
+  del_sinks.on_remote_fact = [&](const Fact& f) {
+    if (current_rule_deletes) return;
+    ContributionKey key{f.peer, f.relation};
+    auto it = current_contributions_.find(key);
+    if (it == current_contributions_.end() || it->second.count(f.args) == 0) {
+      return;
+    }
+    marked_contrib[key].insert(f.args);  // leaf: nothing local reads it
+  };
+
+  while (!frontier.empty()) {
+    next_delta = DeltaMap();
+    for (const ActiveRule& ar : active) {
+      if (ar.ir->rule.head_deletes) continue;
+      if (!body_reads_delta(ar, frontier)) continue;
+      evaluate_delta_positions(ar, del_sinks, &frontier);
+    }
+    frontier = std::move(next_delta);
+    next_delta = DeltaMap();
+  }
+
+  // ---- Apply deletions, then re-derive survivors --------------------
+  for (auto& [rel, tuple] : ghosts) (void)rel->Remove(*tuple);
+  struct Candidate {
+    const std::string* relation;
+    Relation* rel;
+    const Tuple* tuple;
+  };
+  std::vector<Candidate> candidates;
+  for (auto& [rel_name, tuples] : marked) {
+    Relation* rel = catalog_.Get(rel_name);
+    if (rel == nullptr) continue;
+    for (const Tuple& t : tuples) {
+      Result<bool> r = rel->Remove(t);
+      if (!r.ok() || !*r) continue;
+      tracker_.Erase(rel_name, t);
+      candidates.push_back(Candidate{&rel_name, rel, &t});
+    }
+  }
+  if (!candidates.empty()) state_mutated = true;
+
+  // DRed re-derivation loop: a candidate with an alternative derivation
+  // over the post-deletion database returns; returned tuples can in
+  // turn sustain other candidates, so iterate to a fixpoint. Everything
+  // here is bounded by the over-deleted set, not the view.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = candidates.begin(); it != candidates.end();) {
+      Fact f(*it->relation, self_peer_, *it->tuple);
+      if (HasLocalDerivation(f)) {
+        (void)it->rel->Insert(*it->tuple);
+        tracker_.Ensure(*it->relation, *it->tuple).derived = true;
+        ++counters->tuples_rederived;
+        it = candidates.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+  counters->tuples_retracted += candidates.size();
+
+  // Contribution candidates re-derive against the settled local state.
+  for (const auto& [key, tuples] : marked_contrib) {
+    auto cur = current_contributions_.find(key);
+    if (cur == current_contributions_.end()) continue;
+    for (const Tuple& t : tuples) {
+      Fact f(key.relation, key.target_peer, t);
+      if (HasLocalDerivation(f)) {
+        ++counters->tuples_rederived;
+        continue;
+      }
+      cur->second.erase(t);
+      record_contrib_remove(key, t);
+      ++counters->tuples_retracted;
+    }
+  }
+
+  // Externally-supported tuples the cascade reached: their rule-support
+  // bit must reflect the post-deletion database, or a later slice
+  // withdrawal would trust a stale count and fail to cascade.
+  for (const Fact& f : recheck_derived) {
+    TupleSupport* s = tracker_.Find(f.relation, f.args);
+    if (s == nullptr || !s->derived) continue;
+    if (!HasLocalDerivation(f)) s->derived = false;
+  }
+
+  // ---- Delegation rebuild -------------------------------------------
+  // A deletion can invalidate the prefix binding a delegation was
+  // emitted from, and emitted residuals carry no back-pointers to their
+  // prefix tuples. Rules that can delegate and whose body may read a
+  // deleted relation rebuild their delegation output from scratch;
+  // everything else keeps its entries.
+  if (any_deletions) {
+    DeltaMap deleted;
+    for (const auto& [rel_name, tuples] : log->removed()) {
+      Relation* rel = catalog_.Get(rel_name);
+      if (rel == nullptr) continue;
+      for (const Tuple& t : tuples) deleted[rel->symbol()].Insert(t);
+    }
+    for (const auto& [rel_name, tuples] : marked) {
+      Relation* rel = catalog_.Get(rel_name);
+      if (rel == nullptr) continue;
+      for (const Tuple& t : tuples) deleted[rel->symbol()].Insert(t);
+    }
+    RuleEvaluator::Sinks delegation_only;
+    delegation_only.on_delegation = sinks.on_delegation;
+    for (const ActiveRule& ar : active) {
+      if (!ar.ir->info.CanDelegate(self_sym_)) continue;
+      if (!body_reads_delta(ar, deleted)) continue;
+      for (auto it = current_delegations_.begin();
+           it != current_delegations_.end();) {
+        if (it->second.origin_rule_hash == ar.ir->rule_hash) {
+          it = current_delegations_.erase(it);
+          delegations_changed = true;
+        } else {
+          ++it;
+        }
+      }
+      evaluate(ar, delegation_only, nullptr, -1);
+    }
+  }
+
+  // ---- Forward pass: semi-naive from the Δ⁺ seeds -------------------
+  DeltaMap delta;
+  for (const auto& [rel_name, tuples] : log->added()) {
+    Relation* rel = catalog_.Get(rel_name);
+    if (rel == nullptr) continue;
+    for (const Tuple& t : tuples) delta[rel->symbol()].Insert(t);
+  }
+  for (const auto& [rel_name, tuples] : log->slice_gained()) {
+    Relation* rel = catalog_.Get(rel_name);
+    if (rel == nullptr || rel->kind() != RelationKind::kIntensional) {
+      continue;
+    }
+    for (const Tuple& t : tuples) {
+      if (rel->Contains(t)) continue;  // already resident (e.g. derived)
+      Result<bool> r = rel->Insert(t);
+      if (r.ok() && *r) {
+        delta[rel->symbol()].Insert(t);
+        state_mutated = true;
+      }
+    }
+  }
+
+  // Continuous-enforcement re-fires, seeding the loop: a deletion rule
+  // whose head relation regained tuples must delete them again, and an
+  // update rule whose (extensional) head relation lost tuples must
+  // re-assert them — exactly what the recompute oracle does by
+  // re-firing everything every stage.
+  next_delta = DeltaMap();
+  {
+    std::unordered_set<uint32_t> added_ids, removed_ids;
+    for (const auto& [rel_name, tuples] : log->added()) {
+      if (tuples.empty()) continue;
+      Symbol s = Symbol::Find(rel_name);
+      if (s.valid()) added_ids.insert(s.id());
+    }
+    for (const auto& [rel_name, tuples] : log->removed()) {
+      if (tuples.empty()) continue;
+      Symbol s = Symbol::Find(rel_name);
+      if (s.valid()) removed_ids.insert(s.id());
+    }
+    for (const ActiveRule& ar : active) {
+      const PlanStaticInfo& info = ar.ir->info;
+      bool refire = false;
+      if (ar.ir->rule.head_deletes) {
+        refire = !added_ids.empty() &&
+                 (info.head_relation_var ||
+                  added_ids.count(info.head_relation.id()) > 0);
+      } else if (!removed_ids.empty()) {
+        // Only local extensional heads re-assert; remote heads are
+        // contributions (receiver-persistent) and view heads were
+        // handled by the cascade.
+        bool head_local =
+            info.head_peer_var || info.head_peer == self_sym_;
+        bool head_ext = info.head_relation_var;
+        if (!info.head_relation_var) {
+          const Relation* head_rel =
+              catalog_.Get(info.head_relation.str());
+          head_ext = head_rel == nullptr ||
+                     head_rel->kind() == RelationKind::kExtensional;
+        }
+        refire = head_local && head_ext &&
+                 (info.head_relation_var ||
+                  removed_ids.count(info.head_relation.id()) > 0);
+      }
+      if (refire) evaluate(ar, sinks, nullptr, -1);
+    }
+  }
+  for (auto& [sym, ds] : next_delta) {
+    for (const Tuple& t : ds.tuples()) delta[sym].Insert(t);
+  }
+
+  int iterations = 0;
+  while (!delta.empty() && iterations < options_.max_fixpoint_iterations) {
+    ++iterations;
+    next_delta = DeltaMap();
+    for (const ActiveRule& ar : active) {
+      if (!body_reads_delta(ar, delta)) continue;
+      evaluate_delta_positions(ar, sinks, &delta);
+    }
+    delta = std::move(next_delta);
+    next_delta = DeltaMap();
+  }
+  if (iterations >= options_.max_fixpoint_iterations) {
+    WDL_LOG(Error) << "incremental pass iteration limit reached at peer "
+                   << self_peer_;
+  }
+  stats->iterations += iterations;
+  stats->strata = 1;
+
+  // ---- Finalize: deferred updates, shipping, diffs ------------------
+  pending_self_updates_ = std::move(self_updates);
+  pending_self_deletes_ = std::move(self_deletes);
+  for (const Fact& f : remote_deletes) {
+    if (sent_remote_deletes_.insert(f).second) {
+      result->outbound[f.peer].fact_deletes.push_back(f);
+    }
+  }
+  EmitContributionsIncremental(&contrib_added, &contrib_removed, result);
+  if (delegations_changed) {
+    EmitDelegationDiff(current_delegations_, result);
+  } else {
+    // Nothing touched the delegation set: skip the copy + full-map
+    // diff so stage cost stays proportional to the change.
+    result->stats.delegations_active = sent_delegations_.size();
+  }
+  FinalizeOutbound(result);
+
+  stats->tuples_examined =
+      evaluator_.counters().tuples_examined - tuples_before;
+
+  result->changed = changed_local || state_mutated ||
+                    !result->outbound.empty() ||
+                    !pending_self_updates_.empty() ||
+                    !pending_self_deletes_.empty() ||
+                    !pending_delete_rechecks_.empty();
+}
+
+std::vector<DerivedDelta> Engine::CollectHeartbeats() {
+  std::vector<DerivedDelta> out;
+  if (!options_.use_differential_propagation) return out;
+  for (const auto& [key, sent] : sent_contributions_) {
+    if (sent.version == 0) continue;  // nothing ever shipped
+    DerivedDelta dd;
+    dd.target_peer = key.target_peer;
+    dd.relation = key.relation;
+    dd.base_version = sent.version;
+    dd.version = sent.version;
+    out.push_back(std::move(dd));
+    ++prop_counters_.heartbeats_shipped;
+  }
+  return out;
 }
 
 Status Engine::DropScratchRelation(const std::string& relation) {
@@ -731,6 +1513,7 @@ Status Engine::DropScratchRelation(const std::string& relation) {
     }
   }
   slice_store_.DropRelation(relation);
+  tracker_.DropRelation(relation);
   if (!catalog_.Undeclare(relation)) {
     return Status::NotFound("relation " + relation + " is not declared");
   }

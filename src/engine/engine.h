@@ -15,6 +15,7 @@
 #include "ast/program.h"
 #include "base/result.h"
 #include "engine/delegation.h"
+#include "engine/derivation.h"
 #include "engine/eval.h"
 #include "storage/catalog.h"
 #include "storage/slice_store.h"
@@ -42,6 +43,18 @@ struct EngineOptions {
   /// identical state; the delta path's per-round cost is proportional
   /// to the change size, not the view size.
   bool use_differential_propagation = true;
+  /// Maintain intensional relations *incrementally* across stages
+  /// (production): views persist, per-stage Δ-sets (local EDB changes
+  /// plus slice-store support transitions) drive semi-naive evaluation
+  /// forward from the changed tuples only, and deletions retract by
+  /// support-counted DRed-style over-delete/re-derive (DESIGN.md §6).
+  /// When false, every stage clears views and recomputes the fixpoint
+  /// from scratch — the seed semantics, kept as the differential-
+  /// testing oracle like the plan/propagation oracles above. Stages an
+  /// incremental engine cannot serve soundly (rule-set changes, changes
+  /// touching negated relations, naive mode) fall back to a full
+  /// recompute transparently; both modes converge byte-identically.
+  bool use_incremental_maintenance = true;
   Dialect dialect = Dialect::kExtended;
   int max_fixpoint_iterations = 1 << 20;  // safety net; datalog terminates
 };
@@ -120,6 +133,8 @@ struct PropagationCounters {
   uint64_t delta_deletes_shipped = 0;
   uint64_t snapshots_shipped = 0;     // resync responses served
   uint64_t resyncs_requested = 0;     // gaps this engine detected
+  uint64_t heartbeats_shipped = 0;    // version-only stream heartbeats
+  uint64_t heartbeat_gaps_detected = 0;  // resyncs triggered by heartbeats
 };
 
 struct StageResult {
@@ -137,6 +152,10 @@ struct InstalledRule {
   Rule rule;
   std::string origin_peer;     // == self for locally authored rules
   uint64_t delegation_key = 0; // nonzero iff installed via delegation
+  uint64_t rule_hash = 0;      // rule.Hash(), cached at install
+  /// What the rule can read/write/delegate, derived at install; routes
+  /// Δ-sets to affected rules in incremental stages (DESIGN.md §6).
+  PlanStaticInfo info;
 };
 
 /// The WebdamLog engine of a single peer: catalog + active rule set +
@@ -197,6 +216,15 @@ class Engine {
 
   /// Runs one computation stage and returns what must be shipped.
   StageResult RunStage();
+
+  /// Version-only DerivedDelta heartbeats for every contribution stream
+  /// this engine has shipped (differential protocol only): the receiver
+  /// compares the carried version against its applied stream version
+  /// and requests a resync on mismatch, bounding the staleness window
+  /// of a stream that went silent right after a dropped frame. Pure
+  /// observation — emitting heartbeats neither changes state nor marks
+  /// the engine dirty; the runtime schedules them periodically.
+  std::vector<DerivedDelta> CollectHeartbeats();
 
   /// True when queued inputs or deferred self-updates exist, i.e. the
   /// next stage has guaranteed work.
@@ -266,22 +294,64 @@ class Engine {
     DerivedDelta delta;
   };
 
+  /// Program-level facts the incremental driver needs per stage,
+  /// recomputed when the rule set changes.
+  struct ProgramInfo {
+    /// False when no incremental stage can be sound for this program /
+    /// configuration (variable-named negated atoms, derivations that
+    /// can write negated relations, naive-mode ablation).
+    bool incremental_ok = true;
+    /// Interned ids of relations appearing in (constant-named) negated
+    /// atoms; a stage whose Δ touches one falls back to recompute.
+    std::unordered_set<uint32_t> negated_ids;
+  };
+
   Status ValidateNewRule(const Rule& rule) const;
-  void ApplyInputs(StageStats* stats, bool* changed);
-  void ApplyInboundDerived(InboundDerived& in, bool* changed);
-  void SeedIntensionalFromContributions();
+  void NoteRuleSetChanged();
+  void RefreshProgramInfo();
+  bool ChangesEligible(const StageChangeLog& log) const;
+  void ApplyInputs(StageStats* stats, bool* changed, StageChangeLog* log);
+  void ApplyInboundDerived(InboundDerived& in, bool* changed,
+                           StageChangeLog* log);
+  void ClearIntensionalRelations();
+  void SeedIntensionalFromContributions(bool track_support);
+  /// Erases the ship-once suppression entry for a fact this stage
+  /// re-ships as an insert, and schedules the next stage to re-derive
+  /// (and re-ship) any deletion-rule verdict on it.
+  void ClearDeleteSuppression(const std::string& relation,
+                              const std::string& peer, const Tuple& tuple);
   void EmitContributions(
       std::map<ContributionKey, TupleSet>* contributions,
       StageResult* result);
+  void EmitContributionsIncremental(
+      std::map<ContributionKey, TupleSet>* contrib_added,
+      std::map<ContributionKey, TupleSet>* contrib_removed,
+      StageResult* result);
+  void ServeResyncs(StageResult* result);
+  void EmitDelegationDiff(std::map<uint64_t, Delegation> delegations,
+                          StageResult* result);
+  void FinalizeOutbound(StageResult* result);
   void RunFixpoint(StageStats* stats,
                    std::map<ContributionKey, TupleSet>* contributions,
                    std::map<uint64_t, Delegation>* delegations,
                    std::unordered_set<Fact, FactHasher>* self_updates,
                    std::unordered_set<Fact, FactHasher>* self_deletes,
-                   std::unordered_set<Fact, FactHasher>* remote_deletes);
+                   std::unordered_set<Fact, FactHasher>* remote_deletes,
+                   DerivationTracker* tracker);
+  /// The seed semantics: clear views, reseed from slices, recompute the
+  /// fixpoint. Serves recompute-mode stages and doubles as the init /
+  /// fallback path of incremental mode (`rebuild_derived_state`).
+  void RunStageRecompute(StageResult* result, bool changed_local,
+                         bool rebuild_derived_state);
+  /// The Δ-driven stage: deletion cascade (over-delete / re-derive),
+  /// then semi-naive forward evaluation from the change seeds only.
+  void RunStageIncremental(StageResult* result, bool changed_local,
+                           StageChangeLog* log);
+  bool HasLocalDerivation(const Fact& target);
   uint64_t IntensionalContentHash() const;
 
   std::string self_peer_;
+  Symbol self_sym_;  // interned self name (delegation-capability checks)
   EngineOptions options_;
   Catalog catalog_;
   // Owned across stages so the plan cache persists: a rule is compiled
@@ -312,15 +382,41 @@ class Engine {
   std::unordered_set<Fact, FactHasher> pending_self_deletes_;
 
   // Remote contributions to local intensional relations: per-sender
-  // slices with support counts and delta-stream versions. The union is
-  // re-seeded into the view relations at every stage start.
+  // slices with support counts and delta-stream versions. Under the
+  // recompute oracle the union is re-seeded into the view relations at
+  // every stage start; under incremental maintenance only support
+  // transitions flow into the views.
   SliceStore slice_store_;
 
   // What we already shipped, for change detection and delta diffing.
   std::map<ContributionKey, SentContribution> sent_contributions_;
   std::map<uint64_t, Delegation> sent_delegations_;
-  // Remote deletions already shipped (deletion is idempotent; ship once).
+  // Remote deletions already shipped (deletion is idempotent; ship once
+  // — until the same fact is re-shipped as an insert, which clears the
+  // entry so a later deletion verdict ships again).
   std::unordered_set<Fact, FactHasher> sent_remote_deletes_;
+
+  // --- incremental-maintenance state (DESIGN.md §6) -------------------
+  // Per-tuple support records of resident derived tuples.
+  DerivationTracker tracker_;
+  // Net direct InsertFact/RemoveFact changes since the last stage
+  // (incremental mode records them; recompute re-reads everything).
+  StageChangeLog direct_changes_;
+  // The current derived contribution per (target peer, relation) and
+  // the current delegation set — maintained across stages so emission
+  // diffs are O(change); the recompute oracle rebuilds them per stage.
+  std::map<ContributionKey, TupleSet> current_contributions_;
+  std::map<uint64_t, Delegation> current_delegations_;
+  // Facts whose delete-suppression entry was cleared by an insert
+  // re-ship: next stage re-checks active deletion rules against them.
+  std::unordered_set<Fact, FactHasher> pending_delete_rechecks_;
+  // True once a full stage has populated tracker_ and the current_*
+  // maps; until then every stage recomputes.
+  bool derived_state_ready_ = false;
+  // Rule set changed since the last stage: the next stage recomputes
+  // (and refreshes program_info_).
+  bool rules_changed_ = true;
+  ProgramInfo program_info_;
 
   PropagationCounters prop_counters_;
 

@@ -59,7 +59,20 @@ void RuleEvaluator::Evaluate(const Rule& rule, const DeltaMap* delta,
 void RuleEvaluator::EvaluatePlan(const RulePlan& plan, const DeltaMap* delta,
                                  int delta_pos, const Sinks& sinks) {
   slots_.assign(plan.num_slots, nullptr);
-  ExecFrom(plan, 0, delta, delta_pos, sinks);
+  // A Δ-restricted evaluation prefers the Δ-first variant: the
+  // iteration's work becomes proportional to |Δ| (later atoms probe
+  // indexes through the Δ tuple's bindings) instead of a scan of the
+  // leading atom. Valid only when the body's one constant peer is this
+  // evaluator — otherwise atom 0 delegates and order is semantics.
+  if (delta != nullptr && delta_pos >= 0 &&
+      static_cast<size_t>(delta_pos) < plan.delta_variants.size()) {
+    const DeltaVariant& v = plan.delta_variants[delta_pos];
+    if (v.valid && plan.common_body_peer == self_sym_) {
+      ExecFrom(plan, v.atoms, v.order.data(), 0, delta, 0, sinks);
+      return;
+    }
+  }
+  ExecFrom(plan, plan.atoms, nullptr, 0, delta, delta_pos, sinks);
 }
 
 const RulePlan& RuleEvaluator::PlanFor(const Rule& rule) {
@@ -73,6 +86,21 @@ const RulePlan& RuleEvaluator::PlanFor(const Rule& rule) {
   bucket.push_back(std::make_unique<RulePlan>(CompileRule(rule)));
   ++counters_.plans_compiled;
   return *bucket.back();
+}
+
+bool RuleEvaluator::ExistsDerivation(const Rule& rule, const Fact& target) {
+  // Note: callers decide what a match *means* — for derivation rules it
+  // sustains the tuple (re-derivation), for deletion rules it re-arms a
+  // deletion verdict. Both need the raw body-match answer.
+  Binding binding;
+  if (!UnifyHeadWithFact(rule, target, &binding)) return false;
+  ++counters_.rederive_checks;
+  exists_mode_ = true;
+  exists_found_ = false;
+  static const Sinks kNoSinks;
+  MatchFrom(rule, 0, &binding, nullptr, -1, kNoSinks);
+  exists_mode_ = false;
+  return exists_found_;
 }
 
 void RuleEvaluator::EvictPlan(const Rule& rule) {
@@ -112,14 +140,18 @@ bool RuleEvaluator::UnifyTuple(const PlanAtom& atom, const Tuple& tuple) {
   return true;
 }
 
-void RuleEvaluator::ExecFrom(const RulePlan& plan, size_t atom_index,
+void RuleEvaluator::ExecFrom(const RulePlan& plan,
+                             const std::vector<PlanAtom>& atoms,
+                             const uint16_t* order, size_t atom_index,
                              const DeltaMap* delta, int delta_pos,
                              const Sinks& sinks) {
-  if (atom_index == plan.atoms.size()) {
+  if (atom_index == atoms.size()) {
     EmitHeadPlan(plan, sinks);
     return;
   }
-  const PlanAtom& atom = plan.atoms[atom_index];
+  const PlanAtom& atom = atoms[atom_index];
+  const size_t source_index =
+      order != nullptr ? order[atom_index] : atom_index;
 
   // Resolve the atom's location. Constant names were interned at
   // compile time; a variable name is read out of its slot. A slot that
@@ -145,8 +177,12 @@ void RuleEvaluator::ExecFrom(const RulePlan& plan, size_t atom_index,
     if (v->AsString() != self_peer_) remote_peer = &v->AsString();
   }
   if (remote_peer != nullptr) {
-    // Remote atom: delegate the residual rule to that peer.
-    EmitDelegationPlan(plan, atom_index, *remote_peer, sinks);
+    // Remote atom: delegate the residual rule to that peer. Never
+    // reached under a Δ-first variant (single-peer body, evaluated at
+    // that peer) or an existence check (local-only by definition).
+    if (order == nullptr && !exists_mode_) {
+      EmitDelegationPlan(plan, atom_index, *remote_peer, sinks);
+    }
     return;
   }
 
@@ -157,7 +193,7 @@ void RuleEvaluator::ExecFrom(const RulePlan& plan, size_t atom_index,
       // Statically never ground; same diagnostic as the interpreter.
       Atom substituted;
       if (SubstituteCompiled(atom.relation, atom.peer, atom.terms,
-                             plan.rule.body[atom_index], slots_.data(),
+                             plan.rule.body[source_index], slots_.data(),
                              &substituted)) {
         WDL_LOG(Error) << "negated atom not ground at evaluation time: "
                        << substituted.ToString();
@@ -176,7 +212,7 @@ void RuleEvaluator::ExecFrom(const RulePlan& plan, size_t atom_index,
                    probe_scratch_.size() == relation->arity() &&
                    relation->Contains(probe_scratch_);
     if (!present) {
-      ExecFrom(plan, atom_index + 1, delta, delta_pos, sinks);
+      ExecFrom(plan, atoms, order, atom_index + 1, delta, delta_pos, sinks);
     }
     return;
   }
@@ -190,7 +226,7 @@ void RuleEvaluator::ExecFrom(const RulePlan& plan, size_t atom_index,
     ++counters_.tuples_examined;
     if (UnifyTuple(atom, tuple)) {
       counters_.slot_bindings += atom.bound_slots.size();
-      ExecFrom(plan, atom_index + 1, delta, delta_pos, sinks);
+      ExecFrom(plan, atoms, order, atom_index + 1, delta, delta_pos, sinks);
     }
     for (uint16_t s : atom.bound_slots) slots_[s] = nullptr;
   };
@@ -311,7 +347,12 @@ void RuleEvaluator::EmitDelegationPlan(const RulePlan& plan,
 void RuleEvaluator::MatchFrom(const Rule& rule, size_t atom_index,
                               Binding* binding, const DeltaMap* delta,
                               int delta_pos, const Sinks& sinks) {
+  if (exists_mode_ && exists_found_) return;  // short-circuit: answered
   if (atom_index == rule.body.size()) {
+    if (exists_mode_) {
+      exists_found_ = true;
+      return;
+    }
     EmitHead(rule, *binding, sinks);
     return;
   }
@@ -326,8 +367,10 @@ void RuleEvaluator::MatchFrom(const Rule& rule, size_t atom_index,
   if (rel == nullptr || peer == nullptr) return;
 
   if (*peer != self_peer_) {
-    // Remote atom: delegate the residual rule to that peer.
-    EmitDelegation(rule, atom_index, *peer, *binding, sinks);
+    // Remote atom: delegate the residual rule to that peer. An
+    // existence check asks for a complete *local* derivation, so a
+    // remote atom is a dead branch there.
+    if (!exists_mode_) EmitDelegation(rule, atom_index, *peer, *binding, sinks);
     return;
   }
 
@@ -359,6 +402,7 @@ void RuleEvaluator::MatchFrom(const Rule& rule, size_t atom_index,
 
   // Unify one stored tuple with the atom's argument terms.
   auto try_tuple = [&](const Tuple& tuple) {
+    if (exists_mode_ && exists_found_) return;  // drain remaining probes
     ++counters_.tuples_examined;
     size_t mark = binding->Mark();
     bool ok = true;
@@ -391,6 +435,29 @@ void RuleEvaluator::MatchFrom(const Rule& rule, size_t atom_index,
       if (tuple.size() == atom.args.size()) try_tuple(tuple);
     }
     return;
+  }
+
+  // Existence checks usually arrive with the atom fully ground (the
+  // head target bound every variable): answer with one O(1) membership
+  // probe instead of walking an index bucket.
+  if (exists_mode_) {
+    bool ground = true;
+    probe_scratch_.clear();
+    for (const Term& t : atom.args) {
+      const Value* v = t.is_constant() ? &t.value() : binding->Get(t.var());
+      if (v == nullptr) {
+        ground = false;
+        break;
+      }
+      probe_scratch_.push_back(*v);
+    }
+    if (ground) {
+      ++counters_.tuples_examined;
+      if (relation->Contains(probe_scratch_)) {
+        MatchFrom(rule, atom_index + 1, binding, delta, delta_pos, sinks);
+      }
+      return;
+    }
   }
 
   // Access-path selection: the first argument position carrying a

@@ -92,6 +92,14 @@ struct EvalCounters {
   uint64_t delta_index_probes = 0;  // Δ-restricted atoms using the Δ index
   uint64_t delta_scans = 0;         // Δ-restricted atoms scanning the Δ
   uint64_t negation_probes = 0;  // ground negated-atom containment checks
+  // Incremental-maintenance telemetry (DESIGN.md §6), accumulated by
+  // the engine's stage driver: proof in bench JSON that per-stage work
+  // tracks the change size, not the view size.
+  uint64_t stages_incremental = 0;  // stages served by Δ-driven passes
+  uint64_t stages_full = 0;      // stages that recomputed (init/fallback)
+  uint64_t tuples_retracted = 0;  // over-deleted and not re-derived
+  uint64_t tuples_rederived = 0;  // over-deleted, alternative found
+  uint64_t rederive_checks = 0;   // head-bound existence probes run
 };
 
 /// Evaluates single rules against a peer's local catalog, left to right,
@@ -152,12 +160,33 @@ class RuleEvaluator {
   /// evaluator's lifetime.
   void EvictPlan(const Rule& rule);
 
+  /// True when `rule` has at least one complete *local* body match
+  /// under the bindings obtained by unifying its head with `target` —
+  /// i.e. the rule currently derives exactly `target`. The re-derive
+  /// existence check of DRed-style retraction (DESIGN.md §6): cost is
+  /// one selective body evaluation (head constants drive the access
+  /// paths), independent of view size. Evaluation short-circuits on the
+  /// first match, emits nothing, and never delegates (a body that
+  /// reaches a remote atom does not derive locally).
+  bool ExistsDerivation(const Rule& rule, const Fact& target);
+
   const EvalCounters& counters() const { return counters_; }
   void ResetCounters() { counters_ = EvalCounters(); }
+  /// Writable counters for the engine's stage driver (the incremental
+  /// stage/retraction tallies live next to the join telemetry so one
+  /// JSON block tells the whole per-change-cost story).
+  EvalCounters* mutable_counters() { return &counters_; }
 
  private:
   // --- compiled-plan execution ---------------------------------------
-  void ExecFrom(const RulePlan& plan, size_t atom_index,
+  /// Executes `atoms[atom_index..]`. `order` is null for the natural
+  /// body order; for a Δ-first variant it maps each position back to
+  /// its original body index (diagnostics) and the Δ restriction
+  /// applies at position 0. Delegation can only arise under the natural
+  /// order — variants are compiled only for single-peer bodies and run
+  /// only when that peer is the evaluator.
+  void ExecFrom(const RulePlan& plan, const std::vector<PlanAtom>& atoms,
+                const uint16_t* order, size_t atom_index,
                 const DeltaMap* delta, int delta_pos, const Sinks& sinks);
   bool UnifyTuple(const PlanAtom& atom, const Tuple& tuple);
   void EmitHeadPlan(const RulePlan& plan, const Sinks& sinks);
@@ -178,6 +207,16 @@ class RuleEvaluator {
   Symbol self_sym_;
   EvalOptions options_;
   EvalCounters counters_;
+
+  // ExistsDerivation state: when exists_mode_ is set, MatchFrom
+  // short-circuits on the first complete match (exists_found_) and
+  // treats remote atoms as dead branches instead of delegating. The
+  // interpreter path drives the check on both execution engines: its
+  // Binding handles head-seeded variables naturally (a seeded variable
+  // is a check, not a bind), which compiled slot programs cannot — their
+  // bind/check op split is fixed at compile time for an empty seed.
+  bool exists_mode_ = false;
+  bool exists_found_ = false;
 
   // Plan cache, keyed by rule content hash; the per-hash vector guards
   // against hash collisions (entries verify full rule equality).

@@ -30,7 +30,48 @@ struct Compiler {
   }
 };
 
+/// Appends `sym` to `out` once (the vectors stay tiny — rule bodies
+/// read a handful of relations — so linear dedup beats a set).
+void AddUnique(std::vector<Symbol>* out, Symbol sym) {
+  for (Symbol s : *out) {
+    if (s == sym) return;
+  }
+  out->push_back(sym);
+}
+
 }  // namespace
+
+PlanStaticInfo ComputeStaticInfo(const Rule& rule) {
+  PlanStaticInfo info;
+  if (rule.head.relation.is_name()) {
+    info.head_relation = Symbol::Intern(rule.head.relation.name());
+  } else {
+    info.head_relation_var = true;
+  }
+  if (rule.head.peer.is_name()) {
+    info.head_peer = Symbol::Intern(rule.head.peer.name());
+  } else {
+    info.head_peer_var = true;
+  }
+  for (const Atom& atom : rule.body) {
+    if (atom.relation.is_name()) {
+      Symbol s = Symbol::Intern(atom.relation.name());
+      AddUnique(atom.negated ? &info.negated_relations
+                             : &info.body_relations,
+                s);
+    } else if (atom.negated) {
+      info.negated_relation_var = true;
+    } else {
+      info.body_relation_var = true;
+    }
+    if (atom.peer.is_name()) {
+      AddUnique(&info.body_peers, Symbol::Intern(atom.peer.name()));
+    } else {
+      info.body_peer_var = true;
+    }
+  }
+  return info;
+}
 
 RulePlan CompileRule(const Rule& rule) {
   RulePlan plan;
@@ -38,8 +79,12 @@ RulePlan CompileRule(const Rule& rule) {
   plan.rule_hash = rule.Hash();
   Compiler c{&plan, {}, {}};
 
-  plan.atoms.reserve(rule.body.size());
-  for (const Atom& atom : rule.body) {
+  // Compiles one body atom under the boundness state `bound`, advancing
+  // it. Shared by the natural-order pass and the Δ-first variants: slot
+  // numbering lives in `c` and is identical everywhere; only which
+  // occurrence binds vs checks (and hence the access path) depends on
+  // the order atoms execute in.
+  auto compile_atom = [&](const Atom& atom, std::vector<bool>* bound) {
     PlanAtom pa;
     pa.relation = c.CompileSym(atom.relation);
     pa.peer = c.CompileSym(atom.peer);
@@ -49,7 +94,7 @@ RulePlan CompileRule(const Rule& rule) {
     // variables) satisfy later positions of the same atom but cannot
     // seed its access path — the key must exist before the tuple loop
     // starts, exactly like the interpreter's per-call probe choice.
-    std::vector<bool> bound_before = c.bound;
+    std::vector<bool> bound_before = *bound;
 
     pa.terms.reserve(atom.args.size());
     for (size_t j = 0; j < atom.args.size(); ++j) {
@@ -64,7 +109,11 @@ RulePlan CompileRule(const Rule& rule) {
         continue;
       }
       uint16_t s = c.SlotFor(t.var());
-      if (c.bound[s]) {
+      if (s >= bound->size()) {
+        bound->resize(s + 1, false);
+        bound_before.resize(s + 1, false);
+      }
+      if ((*bound)[s]) {
         if (pa.index_column < 0 && s < bound_before.size() &&
             bound_before[s]) {
           pa.index_column = static_cast<int>(j);
@@ -78,12 +127,17 @@ RulePlan CompileRule(const Rule& rule) {
         pa.negated_unbound = true;
         pa.terms.push_back(PlanTerm::Check(s));
       } else {
-        c.bound[s] = true;
+        (*bound)[s] = true;
         pa.bound_slots.push_back(s);
         pa.terms.push_back(PlanTerm::Bind(s));
       }
     }
-    plan.atoms.push_back(std::move(pa));
+    return pa;
+  };
+
+  plan.atoms.reserve(rule.body.size());
+  for (const Atom& atom : rule.body) {
+    plan.atoms.push_back(compile_atom(atom, &c.bound));
   }
 
   plan.head.relation = c.CompileSym(rule.head.relation);
@@ -106,7 +160,76 @@ RulePlan CompileRule(const Rule& rule) {
   }
 
   plan.num_slots = static_cast<uint16_t>(plan.slot_vars.size());
+  plan.info = ComputeStaticInfo(rule);
+
+  // Δ-first variants: only when join order is provably semantics-free —
+  // every body atom names relation and peer with constants and all
+  // atoms live at one common peer (no delegation split can move, no
+  // name resolution depends on binding order). The order keeps the
+  // non-Δ atoms in their original relative sequence, so every negated
+  // atom still runs after the positive atoms that ground it.
+  bool rotatable = !rule.body.empty();
+  for (const Atom& atom : rule.body) {
+    if (!atom.relation.is_name() || !atom.peer.is_name()) {
+      rotatable = false;
+      break;
+    }
+    Symbol peer_sym = Symbol::Intern(atom.peer.name());
+    if (!plan.common_body_peer.valid()) {
+      plan.common_body_peer = peer_sym;
+    } else if (!(plan.common_body_peer == peer_sym)) {
+      rotatable = false;
+      break;
+    }
+  }
+  if (rotatable && rule.body.size() > 1) {
+    plan.delta_variants.resize(rule.body.size());
+    for (size_t pos = 0; pos < rule.body.size(); ++pos) {
+      if (rule.body[pos].negated) continue;  // never a Δ position
+      DeltaVariant& v = plan.delta_variants[pos];
+      v.order.push_back(static_cast<uint16_t>(pos));
+      for (size_t i = 0; i < rule.body.size(); ++i) {
+        if (i != pos) v.order.push_back(static_cast<uint16_t>(i));
+      }
+      std::vector<bool> bound(plan.slot_vars.size(), false);
+      v.atoms.reserve(v.order.size());
+      for (uint16_t original : v.order) {
+        v.atoms.push_back(compile_atom(rule.body[original], &bound));
+      }
+      v.valid = true;
+    }
+  }
   return plan;
+}
+
+bool UnifyHeadWithFact(const Rule& rule, const Fact& fact,
+                       Binding* binding) {
+  auto unify_sym = [&](const SymTerm& sym, const std::string& name) {
+    if (sym.is_name()) return sym.name() == name;
+    const Value* bound = binding->Get(sym.var());
+    if (bound != nullptr) {
+      return bound->is_string() && bound->AsString() == name;
+    }
+    binding->Bind(sym.var(), Value::String(name));
+    return true;
+  };
+  if (!unify_sym(rule.head.relation, fact.relation)) return false;
+  if (!unify_sym(rule.head.peer, fact.peer)) return false;
+  if (rule.head.args.size() != fact.args.size()) return false;
+  for (size_t i = 0; i < fact.args.size(); ++i) {
+    const Term& t = rule.head.args[i];
+    if (t.is_constant()) {
+      if (!(t.value() == fact.args[i])) return false;
+      continue;
+    }
+    const Value* bound = binding->Get(t.var());
+    if (bound != nullptr) {
+      if (!(*bound == fact.args[i])) return false;
+    } else {
+      binding->Bind(t.var(), fact.args[i]);
+    }
+  }
+  return true;
 }
 
 bool SubstituteCompiled(const PlanSym& rel, const PlanSym& peer,

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "ast/fact.h"
 #include "ast/rule.h"
 #include "base/symbol.h"
+#include "engine/binding.h"
 
 namespace wdl {
 
@@ -126,6 +128,74 @@ struct PlanHead {
   bool dead = false;
 };
 
+/// Compile-time facts about a rule that the incremental-maintenance
+/// driver (DESIGN.md §6) needs to route deltas: which relations the
+/// body reads (so a rule is skipped when a stage's Δ cannot touch it),
+/// which relation the head writes (so delete/re-derive candidate tuples
+/// are checked only against rules that could have produced them), and
+/// whether the rule can split into a delegation (so deletions that may
+/// invalidate a prefix binding trigger a delegation rebuild).
+struct PlanStaticInfo {
+  Symbol head_relation;         // invalid when the head relation is a var
+  bool head_relation_var = false;
+  Symbol head_peer;             // invalid when the head peer is a var
+  bool head_peer_var = false;
+  /// Distinct positive body atom relation symbols (constant names only).
+  std::vector<Symbol> body_relations;
+  /// Some positive body atom names its relation with a variable: the
+  /// body can read *any* relation, so delta filtering must assume a hit.
+  bool body_relation_var = false;
+  /// Distinct negated body atom relation symbols (constant names only).
+  std::vector<Symbol> negated_relations;
+  bool negated_relation_var = false;
+  /// Some body atom names its peer with a variable: remoteness (and
+  /// hence delegation) is decided per binding at run time.
+  bool body_peer_var = false;
+  /// Distinct constant body peer symbols. The rule can delegate iff
+  /// body_peer_var or any of these differs from the evaluating peer.
+  std::vector<Symbol> body_peers;
+
+  bool BodyReads(Symbol relation) const {
+    if (body_relation_var) return true;
+    for (Symbol s : body_relations) {
+      if (s == relation) return true;
+    }
+    return false;
+  }
+  bool HeadCanWrite(Symbol relation) const {
+    return head_relation_var || head_relation == relation;
+  }
+  bool CanDelegate(Symbol self_peer) const {
+    if (body_peer_var) return true;
+    for (Symbol s : body_peers) {
+      if (!(s == self_peer)) return true;
+    }
+    return false;
+  }
+};
+
+/// Derives the static info from the rule AST. Used by CompileRule and
+/// directly by the engine for the interpreter (oracle) path, so both
+/// execution engines share one definition of "what can this rule touch".
+PlanStaticInfo ComputeStaticInfo(const Rule& rule);
+
+/// An alternative body execution order for one Δ-restricted position:
+/// the Δ atom runs first (so the iteration's work is proportional to
+/// |Δ|, with every later atom index-probed through the bindings the Δ
+/// tuple provides) and the remaining atoms follow in their original
+/// relative order (so negated atoms still run after their binders).
+/// Only compiled when join order carries no semantics — every body atom
+/// names its relation and peer with constants and all atoms live at one
+/// common peer, so no delegation split can depend on the order. The
+/// evaluator additionally checks at run time that the common peer *is*
+/// the evaluating peer; otherwise atom 0 delegates under the original
+/// order as always.
+struct DeltaVariant {
+  bool valid = false;
+  std::vector<uint16_t> order;  // variant position -> original body index
+  std::vector<PlanAtom> atoms;  // recompiled (bind/check/access) for order
+};
+
 /// A fully compiled rule.
 struct RulePlan {
   Rule rule;  // owned source; delegation residuals substitute from it
@@ -134,6 +204,13 @@ struct RulePlan {
   std::vector<PlanAtom> atoms;
   uint16_t num_slots = 0;
   std::vector<std::string> slot_vars;  // slot -> variable name
+  PlanStaticInfo info;
+  /// Δ-first body orders, one per body position (invalid entries for
+  /// negated positions and non-rotatable bodies). Indexed by the
+  /// delta_pos the fixpoint loop evaluates.
+  std::vector<DeltaVariant> delta_variants;
+  /// The single constant peer every body atom names, when rotatable.
+  Symbol common_body_peer;
 
   /// Human-readable plan listing (slots, per-atom ops and access path);
   /// for tests and diagnostics.
@@ -156,6 +233,16 @@ RulePlan CompileRule(const Rule& rule);
 bool SubstituteCompiled(const PlanSym& rel, const PlanSym& peer,
                         const std::vector<PlanTerm>& terms, const Atom& src,
                         const Value* const* slots, Atom* out);
+
+/// Unifies `rule`'s head with a concrete fact, accumulating variable
+/// bindings into `binding` (relation/peer variables bind to string
+/// values). Returns false when they cannot unify (different constant
+/// relation/peer/argument, arity mismatch, or one variable forced to
+/// two different values). On success the binding seeds a body
+/// evaluation restricted to derivations of exactly `fact` — the
+/// delete/re-derive existence check of incremental maintenance.
+bool UnifyHeadWithFact(const Rule& rule, const Fact& fact,
+                       Binding* binding);
 
 }  // namespace wdl
 

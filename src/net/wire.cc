@@ -343,8 +343,18 @@ Result<DerivedDelta> WireDecoder::GetDerivedDelta() {
   WDL_ASSIGN_OR_RETURN(uint8_t snapshot, GetU8());
   if (snapshot > 1) return Status::ParseError("bad delta snapshot tag");
   d.snapshot = snapshot != 0;
-  if (!d.snapshot && d.version <= d.base_version) {
+  if (!d.snapshot && d.version < d.base_version) {
     return Status::ParseError("delta versions not increasing");
+  }
+  // version == base_version is the version-only stream heartbeat: it
+  // carries no payload and only lets the receiver detect a silent gap.
+  if (!d.snapshot && d.version == d.base_version) {
+    WDL_ASSIGN_OR_RETURN(uint32_t n_ins, GetU32());
+    WDL_ASSIGN_OR_RETURN(uint32_t n_del, GetU32());
+    if (n_ins != 0 || n_del != 0) {
+      return Status::ParseError("heartbeat delta carries payload");
+    }
+    return d;
   }
   WDL_ASSIGN_OR_RETURN(uint32_t n_ins, GetU32());
   if (n_ins > kMaxCount) return Status::ParseError("delta inserts too large");

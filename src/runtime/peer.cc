@@ -102,6 +102,19 @@ std::vector<Envelope> Peer::RunStage() {
   return out;
 }
 
+std::vector<Envelope> Peer::MakeHeartbeats() {
+  std::vector<Envelope> out;
+  for (DerivedDelta& dd : engine_.CollectHeartbeats()) {
+    Envelope e;
+    e.from = name_;
+    e.to = dd.target_peer;
+    e.seq = next_seq_++;
+    e.message = Message::MakeDerivedDelta(std::move(dd));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
 Status Peer::ApproveDelegation(uint64_t delegation_key) {
   WDL_ASSIGN_OR_RETURN(Delegation d, gate_.Approve(delegation_key));
   return engine_.InstallDelegatedRule(d);

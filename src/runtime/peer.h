@@ -53,6 +53,13 @@ class Peer {
   /// Runs one engine stage and returns the envelopes to transmit.
   std::vector<Envelope> RunStage();
 
+  /// Version-only heartbeat envelopes for every contribution stream
+  /// this peer has shipped (see Engine::CollectHeartbeats). The runtime
+  /// submits these periodically so a receiver that lost the last frame
+  /// of a then-silent stream detects the gap within one heartbeat
+  /// interval instead of waiting for the next organic change.
+  std::vector<Envelope> MakeHeartbeats();
+
   bool HasPendingWork() const { return engine_.HasPendingWork(); }
 
   /// Approves a pending delegation: installs the rule ("the program of

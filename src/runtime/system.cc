@@ -99,6 +99,21 @@ RoundReport System::RunRound() {
       ++report.envelopes_sent;
     }
   }
+  // Periodic stream heartbeats: emitted outside the stage machinery (a
+  // heartbeat is pure observation — it neither changes engine state nor
+  // marks peers dirty), so a converged system stays quiescent between
+  // intervals and RunUntilQuiescent still terminates.
+  if (options_.heartbeat_interval_rounds > 0 &&
+      rounds_run_ % options_.heartbeat_interval_rounds == 0) {
+    for (auto& [name, peer] : peers_) {
+      for (Envelope& e : peer->MakeHeartbeats()) {
+        ++report.heartbeats_sent;
+        Status st = network_.Submit(std::move(e), now_);
+        if (!st.ok()) WDL_LOG(Error) << "heartbeat submit failed: " << st;
+        ++report.envelopes_sent;
+      }
+    }
+  }
   report.bytes_sent = network_.stats().bytes_sent - bytes_before;
   return report;
 }

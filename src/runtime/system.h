@@ -16,6 +16,13 @@ namespace wdl {
 struct SystemOptions {
   uint64_t network_seed = 42;
   LinkConfig default_link;
+  /// When > 0, every N-th round each peer submits version-only
+  /// heartbeats for its outbound contribution streams (see
+  /// Peer::MakeHeartbeats). Bounds the staleness window of a stream
+  /// that went silent right after a dropped frame to roughly one
+  /// interval plus a resync round trip. 0 disables (the default:
+  /// change-triggered repair only, as before).
+  int heartbeat_interval_rounds = 0;
 };
 
 /// Counters for one RunRound call.
@@ -32,6 +39,7 @@ struct RoundReport {
   size_t full_set_messages = 0;    // kDerivedSet envelopes
   size_t delta_messages = 0;       // kDerivedDelta envelopes
   size_t resync_requests = 0;      // kResyncRequest envelopes
+  size_t heartbeats_sent = 0;      // version-only stream heartbeats
   uint64_t derived_tuples_sent = 0;  // tuples in full sets
   uint64_t delta_tuples_sent = 0;    // inserts+deletes in deltas
   uint64_t bytes_sent = 0;           // wire bytes submitted this round

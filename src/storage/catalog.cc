@@ -111,10 +111,9 @@ size_t Catalog::TotalTuples() const {
   return total;
 }
 
-void Catalog::ClearIntensional() {
-  for (auto& [name, rel] : relations_) {
-    if (rel->kind() == RelationKind::kIntensional) rel->Clear();
-  }
+void Catalog::ForEachRelation(
+    const std::function<void(Relation&)>& fn) {
+  for (auto& [name, rel] : relations_) fn(*rel);
 }
 
 }  // namespace wdl

@@ -1,6 +1,7 @@
 #ifndef WDL_STORAGE_CATALOG_H_
 #define WDL_STORAGE_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -83,8 +84,12 @@ class Catalog {
   /// Total resident tuples across all relations.
   size_t TotalTuples() const;
 
-  /// Clears every intensional relation (stage-start view reset).
-  void ClearIntensional();
+  /// Invokes `fn` on every declared relation, in name order. The
+  /// clear-all-views stage reset that used to live here is gone:
+  /// whether a view resets or persists across stages is an engine
+  /// policy (recompute oracle vs incremental maintenance, DESIGN.md
+  /// §6), so the engine drives per-relation resets through this.
+  void ForEachRelation(const std::function<void(Relation&)>& fn);
 
  private:
   std::string owner_peer_;

@@ -32,14 +32,21 @@ void SliceStore::CommitVersion(const std::string& relation,
 }
 
 bool SliceStore::ReplaceSlice(const std::string& relation,
-                              const std::string& sender, TupleSet slice) {
+                              const std::string& sender, TupleSet slice,
+                              std::vector<Tuple>* gained,
+                              std::vector<Tuple>* lost) {
   Stream& stream = streams_[relation][sender];
   if (stream.slice == slice) return false;
   for (const Tuple& t : stream.slice) {
-    if (!slice.count(t)) DropSupport(relation, t);
+    if (!slice.count(t) && DropSupport(relation, t) && lost != nullptr) {
+      lost->push_back(t);
+    }
   }
   for (const Tuple& t : slice) {
-    if (!stream.slice.count(t)) AddSupport(relation, t);
+    if (!stream.slice.count(t) && AddSupport(relation, t) &&
+        gained != nullptr) {
+      gained->push_back(t);
+    }
   }
   stream.slice = std::move(slice);
   return true;
@@ -47,8 +54,9 @@ bool SliceStore::ReplaceSlice(const std::string& relation,
 
 bool SliceStore::ApplySnapshot(const std::string& relation,
                                const std::string& sender, TupleSet slice,
-                               uint64_t version) {
-  bool changed = ReplaceSlice(relation, sender, std::move(slice));
+                               uint64_t version, std::vector<Tuple>* gained,
+                               std::vector<Tuple>* lost) {
+  bool changed = ReplaceSlice(relation, sender, std::move(slice), gained, lost);
   streams_[relation][sender].version = version;
   return changed;
 }
@@ -57,19 +65,22 @@ bool SliceStore::ApplyDelta(const std::string& relation,
                             const std::string& sender,
                             std::vector<Tuple> inserts,
                             const std::vector<Tuple>& deletes,
-                            uint64_t version) {
+                            uint64_t version, std::vector<Tuple>* gained,
+                            std::vector<Tuple>* lost) {
   Stream& stream = streams_[relation][sender];
   bool changed = false;
   for (Tuple& t : inserts) {
     auto [it, inserted] = stream.slice.insert(std::move(t));
     if (inserted) {
-      AddSupport(relation, *it);
+      if (AddSupport(relation, *it) && gained != nullptr) {
+        gained->push_back(*it);
+      }
       changed = true;
     }
   }
   for (const Tuple& t : deletes) {
     if (stream.slice.erase(t) > 0) {
-      DropSupport(relation, t);
+      if (DropSupport(relation, t) && lost != nullptr) lost->push_back(t);
       changed = true;
     }
   }
@@ -116,18 +127,22 @@ const SliceStore::TupleSet* SliceStore::Slice(
   return it == rel_it->second.end() ? nullptr : &it->second.slice;
 }
 
-void SliceStore::AddSupport(const std::string& relation,
+bool SliceStore::AddSupport(const std::string& relation,
                             const Tuple& tuple) {
-  ++support_[relation][tuple];
+  return ++support_[relation][tuple] == 1;
 }
 
-void SliceStore::DropSupport(const std::string& relation,
+bool SliceStore::DropSupport(const std::string& relation,
                              const Tuple& tuple) {
   auto rel_it = support_.find(relation);
-  if (rel_it == support_.end()) return;
+  if (rel_it == support_.end()) return false;
   auto it = rel_it->second.find(tuple);
-  if (it == rel_it->second.end()) return;
-  if (--it->second == 0) rel_it->second.erase(it);
+  if (it == rel_it->second.end()) return false;
+  if (--it->second == 0) {
+    rel_it->second.erase(it);
+    return true;
+  }
+  return false;
 }
 
 }  // namespace wdl

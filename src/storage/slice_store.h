@@ -71,20 +71,32 @@ class SliceStore {
   /// Replaces `sender`'s slice wholesale (the full-slice protocol; no
   /// version attached). Returns true when the slice actually changed —
   /// decided by direct set comparison, never by hash.
+  ///
+  /// When non-null, `gained`/`lost` receive the tuples whose aggregate
+  /// support crossed zero (0 -> 1 senders, last sender withdrew): the
+  /// per-tuple view-membership transitions that drive incremental view
+  /// maintenance (DESIGN.md §6). Tuples whose support merely moved
+  /// between positive counts are not reported.
   bool ReplaceSlice(const std::string& relation, const std::string& sender,
-                    TupleSet slice);
+                    TupleSet slice, std::vector<Tuple>* gained = nullptr,
+                    std::vector<Tuple>* lost = nullptr);
 
   /// Replaces the slice and commits `version` (a differential-protocol
-  /// snapshot / resync response).
+  /// snapshot / resync response). Transition reporting as ReplaceSlice.
   bool ApplySnapshot(const std::string& relation, const std::string& sender,
-                     TupleSet slice, uint64_t version);
+                     TupleSet slice, uint64_t version,
+                     std::vector<Tuple>* gained = nullptr,
+                     std::vector<Tuple>* lost = nullptr);
 
   /// Applies one differential update to `sender`'s slice and commits
   /// `version`; the inserts are consumed (moved into the slice).
   /// Returns true when any tuple was actually added or removed.
+  /// Transition reporting as ReplaceSlice.
   bool ApplyDelta(const std::string& relation, const std::string& sender,
                   std::vector<Tuple> inserts,
-                  const std::vector<Tuple>& deletes, uint64_t version);
+                  const std::vector<Tuple>& deletes, uint64_t version,
+                  std::vector<Tuple>* gained = nullptr,
+                  std::vector<Tuple>* lost = nullptr);
 
   /// Invokes `fn(const Tuple&)` on every tuple contributed by at least
   /// one sender to `relation` (each distinct tuple once).
@@ -127,8 +139,9 @@ class SliceStore {
   };
   using SupportMap = std::unordered_map<Tuple, uint32_t, TupleHasher>;
 
-  void AddSupport(const std::string& relation, const Tuple& tuple);
-  void DropSupport(const std::string& relation, const Tuple& tuple);
+  /// Returns true when the tuple's aggregate support crossed zero.
+  bool AddSupport(const std::string& relation, const Tuple& tuple);
+  bool DropSupport(const std::string& relation, const Tuple& tuple);
 
   // Outer maps are ordered so relation/sender iteration is
   // deterministic; the per-relation SupportMap is hash-ordered, so

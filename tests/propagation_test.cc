@@ -252,5 +252,205 @@ TEST(PropagationOracleTest, IncrementalChangeShipsChangeNotView) {
   EXPECT_EQ(pc.delta_inserts_shipped, 500u);
 }
 
+// Regression (ISSUE PR4): the ship-once suppression of remote deletes
+// must lift when the same fact is re-shipped as an insert. Before the
+// fix, a fact deleted, re-asserted through a fresh contribution, then
+// deleted again never re-shipped the delete — the receiver kept the
+// zombie fact forever.
+TEST(PropagationOracleTest, RemoteDeleteReshipsAfterInsertReship) {
+  for (bool differential : {false, true}) {
+    for (bool incremental : {false, true}) {
+      SCOPED_TRACE(testing::Message() << "differential=" << differential
+                                      << " incremental=" << incremental);
+      PeerOptions mode;
+      mode.engine.use_differential_propagation = differential;
+      mode.engine.use_incremental_maintenance = incremental;
+      System system;
+      Peer* a = system.CreatePeer("a", mode);
+      Peer* b = system.CreatePeer("b", mode);
+      ASSERT_TRUE(a->LoadProgramText(R"(
+        collection ext src@a(x: int);
+        collection ext kill@a(x: int);
+        rule p@b($x) :- src@a($x);
+        rule -p@b($x) :- src@a($x), kill@a($x);
+      )").ok());
+      ASSERT_TRUE(b->LoadProgramText(
+          "collection ext p@b(x: int);").ok());
+      const Relation* p = b->engine().catalog().Get("p");
+
+      // Ship p(1), then delete it through the deletion rule.
+      ASSERT_TRUE(a->Insert(Fact("src", "a", {I(1)})).ok());
+      ASSERT_TRUE(system.RunUntilQuiescent().ok());
+      ASSERT_TRUE(p->Contains({I(1)}));
+      ASSERT_TRUE(a->Insert(Fact("kill", "a", {I(1)})).ok());
+      ASSERT_TRUE(system.RunUntilQuiescent().ok());
+      ASSERT_FALSE(p->Contains({I(1)}));
+
+      // Drain the contribution, then re-assert: p(1) ships as an
+      // insert again, which must clear the delete suppression.
+      ASSERT_TRUE(a->Remove(Fact("src", "a", {I(1)})).ok());
+      ASSERT_TRUE(a->Remove(Fact("kill", "a", {I(1)})).ok());
+      ASSERT_TRUE(system.RunUntilQuiescent().ok());
+      ASSERT_TRUE(a->Insert(Fact("src", "a", {I(1)})).ok());
+      ASSERT_TRUE(system.RunUntilQuiescent().ok());
+      ASSERT_TRUE(p->Contains({I(1)}));
+
+      // Second deletion of the same fact: must ship (and delete) again.
+      ASSERT_TRUE(a->Insert(Fact("kill", "a", {I(1)})).ok());
+      ASSERT_TRUE(system.RunUntilQuiescent().ok());
+      EXPECT_FALSE(p->Contains({I(1)}));
+    }
+  }
+}
+
+// Companion regression: a resync *snapshot* also re-ships facts as
+// inserts, so it must lift delete suppression the same way organic
+// contribution traffic does — otherwise a receiver repaired through a
+// snapshot keeps a zombie fact whose deletion verdict never re-ships.
+TEST(PropagationOracleTest, ResyncSnapshotAlsoLiftsDeleteSuppression) {
+  for (bool incremental : {false, true}) {
+    SCOPED_TRACE(testing::Message() << "incremental=" << incremental);
+    PeerOptions mode;
+    mode.engine.use_incremental_maintenance = incremental;
+    System system;
+    Peer* a = system.CreatePeer("a", mode);
+    Peer* b = system.CreatePeer("b", mode);
+    ASSERT_TRUE(a->LoadProgramText(R"(
+      collection ext src@a(x: int);
+      collection ext kill@a(x: int);
+      rule p@b($x) :- src@a($x);
+      rule -p@b($x) :- src@a($x), kill@a($x);
+    )").ok());
+    ASSERT_TRUE(b->LoadProgramText("collection ext p@b(x: int);").ok());
+    const Relation* p = b->engine().catalog().Get("p");
+
+    // p(1) shipped and then deleted; the suppression entry is armed and
+    // the contribution still carries p(1) (src(1) holds).
+    ASSERT_TRUE(a->Insert(Fact("src", "a", {I(1)})).ok());
+    ASSERT_TRUE(system.RunUntilQuiescent().ok());
+    ASSERT_TRUE(a->Insert(Fact("kill", "a", {I(1)})).ok());
+    ASSERT_TRUE(system.RunUntilQuiescent().ok());
+    ASSERT_FALSE(p->Contains({I(1)}));
+
+    // Lose a frame, then heal: the next change exposes the gap, b
+    // resyncs, and the snapshot re-delivers p(1) among the rest.
+    LinkConfig dead;
+    dead.drop_probability = 1.0;
+    system.network().SetLink("a", "b", dead);
+    ASSERT_TRUE(a->Insert(Fact("src", "a", {I(2)})).ok());
+    ASSERT_TRUE(system.RunUntilQuiescent().ok());
+    system.network().SetLink("a", "b", LinkConfig{});
+    ASSERT_TRUE(a->Insert(Fact("src", "a", {I(3)})).ok());
+    ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+    // The snapshot resurrected p(1) at b; the re-armed deletion verdict
+    // must have shipped right behind it.
+    EXPECT_TRUE(p->Contains({I(2)}));
+    EXPECT_TRUE(p->Contains({I(3)}));
+    EXPECT_FALSE(p->Contains({I(1)}));
+    EXPECT_GE(b->engine().propagation_counters().resyncs_requested, 1u);
+  }
+}
+
+// Stream heartbeats (ROADMAP): a contribution stream that goes silent
+// right after a dropped frame stays stale only until the next heartbeat
+// — the version-only probe exposes the gap, the receiver requests a
+// resync, and the snapshot repairs the view without any organic
+// traffic on the stream.
+TEST(PropagationOracleTest, HeartbeatBoundsStalenessAfterSilentLoss) {
+  SystemOptions opts;
+  opts.heartbeat_interval_rounds = 4;
+  System system(opts);
+  PeerOptions mode;  // differential propagation (default)
+  Peer* a = system.CreatePeer("a", mode);
+  Peer* hub = system.CreatePeer("hub", mode);
+  ASSERT_TRUE(hub->LoadProgramText(
+      "collection int board@hub(x: int);").ok());
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext data@a(x: int);
+    rule board@hub($x) :- data@a($x);
+  )").ok());
+  ASSERT_TRUE(a->Insert(Fact("data", "a", {I(1)})).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  const Relation* board = hub->engine().catalog().Get("board");
+  ASSERT_EQ(board->size(), 1u);
+
+  // Lose exactly the last frame of the stream, then go silent.
+  LinkConfig dead;
+  dead.drop_probability = 1.0;
+  system.network().SetLink("a", "hub", dead);
+  ASSERT_TRUE(a->Insert(Fact("data", "a", {I(2)})).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  ASSERT_EQ(board->size(), 1u);  // receiver is stale and doesn't know
+  system.network().SetLink("a", "hub", LinkConfig{});
+
+  // No organic traffic follows. Within one heartbeat interval plus the
+  // resync round trip the receiver must repair itself.
+  size_t heartbeats = 0;
+  for (int round = 0; round < 12 && board->size() != 2u; ++round) {
+    heartbeats += system.RunRound().heartbeats_sent;
+  }
+  EXPECT_EQ(board->size(), 2u);
+  EXPECT_GE(heartbeats, 1u);
+  EXPECT_GE(hub->engine().propagation_counters().heartbeat_gaps_detected,
+            1u);
+  EXPECT_GE(a->engine().propagation_counters().heartbeats_shipped, 1u);
+
+  // Heartbeats are pure observation: once the streams agree they create
+  // no lasting work — no further resyncs fire and the system keeps
+  // reaching quiescence despite the periodic probes.
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  uint64_t resyncs_after_repair =
+      hub->engine().propagation_counters().resyncs_requested;
+  for (int i = 0; i < 8; ++i) (void)system.RunRound();
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  EXPECT_EQ(hub->engine().propagation_counters().resyncs_requested,
+            resyncs_after_repair);
+  EXPECT_EQ(board->size(), 2u);
+}
+
+// Regression: a stream whose every frame was lost and whose
+// contribution then netted out to empty repairs through an *empty*
+// snapshot to a relation the receiver never learned about. The empty
+// snapshot must still commit its version — otherwise the receiver's
+// applied version stays behind forever and every heartbeat re-requests
+// the same resync, round after round.
+TEST(PropagationOracleTest, EmptySnapshotToUnknownRelationCommitsVersion) {
+  SystemOptions opts;
+  opts.heartbeat_interval_rounds = 3;
+  System system(opts);
+  Peer* a = system.CreatePeer("a", PeerOptions{});
+  Peer* hub = system.CreatePeer("hub", PeerOptions{});
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext data@a(x: int);
+    rule board@hub($x) :- data@a($x);
+  )").ok());
+
+  // Every frame of the stream is lost; the contribution then empties,
+  // so the sender's memory is "version 2, zero tuples" while hub never
+  // auto-declared board at all.
+  LinkConfig dead;
+  dead.drop_probability = 1.0;
+  system.network().SetLink("a", "hub", dead);
+  ASSERT_TRUE(a->Insert(Fact("data", "a", {I(1)})).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  ASSERT_TRUE(a->Remove(Fact("data", "a", {I(1)})).ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  system.network().SetLink("a", "hub", LinkConfig{});
+  ASSERT_EQ(hub->engine().catalog().Get("board"), nullptr);
+
+  // First heartbeat exposes the gap; the (empty) snapshot must settle
+  // the stream so later heartbeats stay silent.
+  for (int i = 0; i < 8; ++i) (void)system.RunRound();
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  uint64_t resyncs_after_repair =
+      hub->engine().propagation_counters().resyncs_requested;
+  EXPECT_GE(resyncs_after_repair, 1u);
+  for (int i = 0; i < 9; ++i) (void)system.RunRound();
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  EXPECT_EQ(hub->engine().propagation_counters().resyncs_requested,
+            resyncs_after_repair);
+}
+
 }  // namespace
 }  // namespace wdl

@@ -191,14 +191,20 @@ TEST(CatalogTest, SnapshotReturnsSortedFacts) {
   EXPECT_EQ((*snap)[1].args[0], I(2));
 }
 
-TEST(CatalogTest, ClearIntensionalLeavesExtensionalAlone) {
+TEST(CatalogTest, ForEachRelationDrivesSelectiveClear) {
+  // The stage-start view reset is an engine policy now: the engine
+  // clears views through ForEachRelation (recompute oracle) or leaves
+  // them resident (incremental maintenance). The catalog itself only
+  // offers the traversal.
   Catalog c("alice");
   ASSERT_TRUE(c.Declare(Decl("base", "alice", {{"x", ValueKind::kInt}})).ok());
   ASSERT_TRUE(c.Declare(Decl("view", "alice", {{"x", ValueKind::kInt}},
                              RelationKind::kIntensional)).ok());
   ASSERT_TRUE(c.Get("base")->Insert({I(1)}).ok());
   ASSERT_TRUE(c.Get("view")->Insert({I(1)}).ok());
-  c.ClearIntensional();
+  c.ForEachRelation([](Relation& rel) {
+    if (rel.kind() == RelationKind::kIntensional) rel.Clear();
+  });
   EXPECT_EQ(c.Get("base")->size(), 1u);
   EXPECT_EQ(c.Get("view")->size(), 0u);
 }
