@@ -207,9 +207,35 @@ void Engine::EnqueueResyncRequest(const std::string& peer,
   dirty_ = true;  // the snapshot must go out even with no local change
 }
 
+void Engine::NoteLinkReset(const std::string& peer) {
+  if (peer == self_peer_) return;
+  // Outbound: re-ship every stream and delegation held for `peer`, as
+  // if it had requested a resync of each.
+  for (const auto& [key, sent] : sent_contributions_) {
+    if (key.target_peer == peer) {
+      pending_resync_serves_.emplace(peer, key.relation);
+    }
+  }
+  for (const auto& [dkey, d] : sent_delegations_) {
+    if (d.target_peer == peer) pending_delegation_reships_.insert(dkey);
+  }
+  // Inbound: version continuity of `peer`'s streams is gone. Forget the
+  // positions and ask for fresh snapshots; any snapshot that arrives
+  // before the request goes out (version >= 1 against the reset
+  // position) heals the stream and suppresses the request.
+  for (const std::string& relation :
+       slice_store_.RelationsFromSender(peer)) {
+    uint64_t& missing = resync_needed_[{peer, relation}];
+    missing = std::max<uint64_t>(missing, 1);
+  }
+  slice_store_.ResetStreamVersions(peer);
+  dirty_ = true;  // the re-ships and requests must go out in a stage
+}
+
 bool Engine::HasPendingWork() const {
   return dirty_ || !inbound_inserts_.empty() || !inbound_deletes_.empty() ||
          !inbound_derived_.empty() || !pending_resync_serves_.empty() ||
+         !pending_delegation_reships_.empty() ||
          !pending_self_updates_.empty() || !pending_self_deletes_.empty() ||
          !pending_delete_rechecks_.empty() || !ran_any_stage_;
 }
@@ -832,6 +858,18 @@ void Engine::ServeResyncs(StageResult* result) {
     result->outbound[peer].derived_deltas.push_back(std::move(dd));
   }
   pending_resync_serves_.clear();
+
+  // Re-ship delegations whose target's link was reset: the target may
+  // have restarted and lost the installed rule. Installs are
+  // idempotent by delegation key, so a target that kept the rule is
+  // unaffected.
+  for (uint64_t key : pending_delegation_reships_) {
+    auto it = sent_delegations_.find(key);
+    if (it == sent_delegations_.end()) continue;  // retracted since
+    result->outbound[it->second.target_peer].delegation_installs.push_back(
+        it->second);
+  }
+  pending_delegation_reships_.clear();
 
   // And raise our own: gaps detected while applying inbound deltas —
   // unless a later message of the same batch (duplicate, reordered

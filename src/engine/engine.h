@@ -214,6 +214,19 @@ class Engine {
   void EnqueueResyncRequest(const std::string& peer,
                             const std::string& relation);
 
+  /// The transport link to `peer` was reset (connection dropped and/or
+  /// re-established — on a real network that usually means `peer`
+  /// crashed, restarted, or was unreachable for a while). Heals both
+  /// directions through the existing resync machinery:
+  ///  - outbound: every contribution stream and delegation we hold for
+  ///    `peer` is re-shipped (snapshots / idempotent installs), exactly
+  ///    as if `peer` had sent a resync request per stream;
+  ///  - inbound: the stream positions of everything `peer` sends us are
+  ///    forgotten (a restarted sender renumbers from 1, which the gate
+  ///    would otherwise drop as stale) and a resync request per stream
+  ///    goes out.
+  void NoteLinkReset(const std::string& peer);
+
   /// Runs one computation stage and returns what must be shipped.
   StageResult RunStage();
 
@@ -367,6 +380,9 @@ class Engine {
   std::vector<InboundDerived> inbound_derived_;
   // Resync requests received from peers, served next stage.
   std::set<std::pair<std::string, std::string>> pending_resync_serves_;
+  // Delegation keys to re-ship next stage (link reset to their target;
+  // installs are idempotent by key at the receiver).
+  std::set<uint64_t> pending_delegation_reships_;
   // Gaps detected while applying inbound deltas this stage: (sender,
   // relation) -> highest update version we failed to apply. Turned into
   // outbound resync requests in step 3, unless a later message in the

@@ -52,8 +52,12 @@ Status SimulatedNetwork::Submit(Envelope envelope, double now) {
     ++stats_.messages_duplicated;
   }
   const size_t frame_size = bytes.size();
+  stats_.bytes_sent += frame_size;
   for (int i = 0; i < copies; ++i) {
-    stats_.bytes_sent += frame_size;  // every frame occupies the wire
+    // Injected copies occupy the wire but are link fault injection, not
+    // sender traffic; account them separately so byte accounting stays
+    // comparable across duplicate-probability settings.
+    if (i > 0) stats_.bytes_duplicated += frame_size;
     double latency = link.latency;
     if (link.jitter > 0.0) latency += rng_.NextDouble() * link.jitter;
 

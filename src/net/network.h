@@ -34,7 +34,12 @@ struct NetworkStats {
   uint64_t messages_dropped = 0;    // random loss
   uint64_t messages_partitioned = 0; // lost to a partition
   uint64_t messages_duplicated = 0;  // extra copies injected by links
-  uint64_t bytes_sent = 0;
+  uint64_t bytes_sent = 0;           // frames the sender actually emitted
+  /// Wire bytes of the *extra* copies injected by duplicate_probability.
+  /// Kept out of bytes_sent so protocol byte accounting (BENCH_pr3/pr4
+  /// comparisons) measures what the sender shipped, not the link fault
+  /// injection; total wire occupancy is the sum of both.
+  uint64_t bytes_duplicated = 0;
 
   void Reset() { *this = NetworkStats(); }
 };
@@ -49,6 +54,15 @@ class Network {
   /// order (time, then submission sequence).
   virtual std::vector<Envelope> DeliverDue(double now) = 0;
   virtual bool HasInFlight() const = 0;
+  /// Point-in-time copy of the transport counters (a copy because an
+  /// asynchronous transport updates them from its own threads).
+  virtual NetworkStats StatsSnapshot() const = 0;
+  /// Peers whose link to this endpoint was reset (connection dropped or
+  /// re-established) since the last call. The runtime reacts by
+  /// re-shipping its streams to — and re-requesting the streams from —
+  /// those peers, so a restarted process heals like a gap-detected
+  /// stream. A simulated network never resets links.
+  virtual std::vector<std::string> TakePeerResets() { return {}; }
 };
 
 /// Deterministic in-process network simulator. Every envelope is
@@ -78,6 +92,7 @@ class SimulatedNetwork : public Network {
   Status Submit(Envelope envelope, double now) override;
   std::vector<Envelope> DeliverDue(double now) override;
   bool HasInFlight() const override { return !in_flight_.empty(); }
+  NetworkStats StatsSnapshot() const override { return stats_; }
 
   const NetworkStats& stats() const { return stats_; }
   void ResetStats() { stats_.Reset(); }

@@ -12,6 +12,16 @@ constexpr uint16_t kVersion = 1;
 // Defense against hostile lengths: no single collection in a WebdamLog
 // message plausibly exceeds this many elements.
 constexpr uint32_t kMaxCount = 1u << 24;
+
+// Smallest possible encodings, used to cap collection counts against
+// the bytes actually left in the frame (GetCount). A count that claims
+// more elements than the remainder could hold even at minimum size is
+// corrupt or hostile, however large kMaxCount is.
+constexpr size_t kMinValueBytes = 5;   // tag + u32 len of an empty string
+constexpr size_t kMinTermBytes = 5;    // var tag + u32 len
+constexpr size_t kMinTupleBytes = 4;   // u32 arity of an empty tuple
+constexpr size_t kMinFactBytes = 12;   // two empty strings + empty tuple
+constexpr size_t kMinAtomBytes = 15;   // neg tag + two symterms + u32 arity
 }  // namespace
 
 void WireEncoder::PutU16(uint16_t v) {
@@ -207,6 +217,18 @@ Result<double> WireDecoder::GetDouble() {
   return d;
 }
 
+Result<uint32_t> WireDecoder::GetCount(size_t min_element_bytes,
+                                       const char* what) {
+  WDL_ASSIGN_OR_RETURN(uint32_t n, GetU32());
+  if (n > kMaxCount ||
+      static_cast<uint64_t>(n) * min_element_bytes > remaining()) {
+    return Status::ParseError(StrFormat(
+        "%s count %u exceeds frame (%zu bytes remaining)", what, n,
+        remaining()));
+  }
+  return n;
+}
+
 Result<std::string> WireDecoder::GetString() {
   WDL_ASSIGN_OR_RETURN(uint32_t len, GetU32());
   WDL_RETURN_IF_ERROR(Need(len));
@@ -240,8 +262,7 @@ Result<Value> WireDecoder::GetValue() {
 }
 
 Result<Tuple> WireDecoder::GetTuple() {
-  WDL_ASSIGN_OR_RETURN(uint32_t n, GetU32());
-  if (n > kMaxCount) return Status::ParseError("tuple arity too large");
+  WDL_ASSIGN_OR_RETURN(uint32_t n, GetCount(kMinValueBytes, "tuple arity"));
   Tuple t;
   t.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -285,8 +306,7 @@ Result<Atom> WireDecoder::GetAtom() {
   a.negated = negated != 0;
   WDL_ASSIGN_OR_RETURN(a.relation, GetSymTerm());
   WDL_ASSIGN_OR_RETURN(a.peer, GetSymTerm());
-  WDL_ASSIGN_OR_RETURN(uint32_t n, GetU32());
-  if (n > kMaxCount) return Status::ParseError("atom arity too large");
+  WDL_ASSIGN_OR_RETURN(uint32_t n, GetCount(kMinTermBytes, "atom arity"));
   a.args.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     WDL_ASSIGN_OR_RETURN(Term t, GetTerm());
@@ -301,8 +321,7 @@ Result<Rule> WireDecoder::GetRule() {
   if (deletes > 1) return Status::ParseError("bad rule deletion tag");
   r.head_deletes = deletes != 0;
   WDL_ASSIGN_OR_RETURN(r.head, GetAtom());
-  WDL_ASSIGN_OR_RETURN(uint32_t n, GetU32());
-  if (n > kMaxCount) return Status::ParseError("rule body too large");
+  WDL_ASSIGN_OR_RETURN(uint32_t n, GetCount(kMinAtomBytes, "rule body"));
   r.body.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     WDL_ASSIGN_OR_RETURN(Atom a, GetAtom());
@@ -324,8 +343,7 @@ Result<DerivedSet> WireDecoder::GetDerivedSet() {
   DerivedSet s;
   WDL_ASSIGN_OR_RETURN(s.target_peer, GetString());
   WDL_ASSIGN_OR_RETURN(s.relation, GetString());
-  WDL_ASSIGN_OR_RETURN(uint32_t n, GetU32());
-  if (n > kMaxCount) return Status::ParseError("derived set too large");
+  WDL_ASSIGN_OR_RETURN(uint32_t n, GetCount(kMinTupleBytes, "derived set"));
   s.tuples.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
     WDL_ASSIGN_OR_RETURN(Tuple t, GetTuple());
@@ -356,15 +374,15 @@ Result<DerivedDelta> WireDecoder::GetDerivedDelta() {
     }
     return d;
   }
-  WDL_ASSIGN_OR_RETURN(uint32_t n_ins, GetU32());
-  if (n_ins > kMaxCount) return Status::ParseError("delta inserts too large");
+  WDL_ASSIGN_OR_RETURN(uint32_t n_ins,
+                       GetCount(kMinTupleBytes, "delta inserts"));
   d.inserts.reserve(n_ins);
   for (uint32_t i = 0; i < n_ins; ++i) {
     WDL_ASSIGN_OR_RETURN(Tuple t, GetTuple());
     d.inserts.push_back(std::move(t));
   }
-  WDL_ASSIGN_OR_RETURN(uint32_t n_del, GetU32());
-  if (n_del > kMaxCount) return Status::ParseError("delta deletes too large");
+  WDL_ASSIGN_OR_RETURN(uint32_t n_del,
+                       GetCount(kMinTupleBytes, "delta deletes"));
   d.deletes.reserve(n_del);
   for (uint32_t i = 0; i < n_del; ++i) {
     WDL_ASSIGN_OR_RETURN(Tuple t, GetTuple());
@@ -383,8 +401,7 @@ Result<Message> WireDecoder::GetMessage() {
   switch (m.type) {
     case MessageType::kFactInserts:
     case MessageType::kFactDeletes: {
-      WDL_ASSIGN_OR_RETURN(uint32_t n, GetU32());
-      if (n > kMaxCount) return Status::ParseError("fact batch too large");
+      WDL_ASSIGN_OR_RETURN(uint32_t n, GetCount(kMinFactBytes, "fact batch"));
       m.facts.reserve(n);
       for (uint32_t i = 0; i < n; ++i) {
         WDL_ASSIGN_OR_RETURN(Fact f, GetFact());

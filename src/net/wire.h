@@ -84,6 +84,12 @@ class WireDecoder {
 
  private:
   Status Need(size_t n) const;
+  /// Reads a u32 element count and validates it against the bytes that
+  /// are actually left in the frame: every element of the collection
+  /// being decoded occupies at least `min_element_bytes`, so any count
+  /// exceeding remaining()/min_element_bytes is corrupt or hostile and
+  /// fails here — before a reserve() or decode loop sized by it runs.
+  Result<uint32_t> GetCount(size_t min_element_bytes, const char* what);
   std::string_view data_;
   size_t pos_ = 0;
 };

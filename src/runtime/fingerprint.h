@@ -1,0 +1,28 @@
+#ifndef WDL_RUNTIME_FINGERPRINT_H_
+#define WDL_RUNTIME_FINGERPRINT_H_
+
+#include <string>
+
+#include "runtime/peer.h"
+#include "runtime/system.h"
+
+namespace wdl {
+
+/// Canonical rendering of one peer's converged state: every relation
+/// (sorted tuples) plus the active rule set. Rule ids are omitted and
+/// rules are sorted — ids encode arrival order, which a real network
+/// does not make deterministic — so a peer that reached the same state
+/// through any delivery schedule (simulator, TCP, restart + resync)
+/// produces the same fingerprint. This is what wdl_peerd publishes and
+/// what the multi-process convergence tests compare against the
+/// simulator oracle.
+std::string PeerStateFingerprint(const Peer& peer);
+
+/// Concatenation of PeerStateFingerprint over every peer of a system,
+/// in name order: two systems that converged to the same global state
+/// produce the same fingerprint regardless of scheduling.
+std::string GlobalStateFingerprint(const System& system);
+
+}  // namespace wdl
+
+#endif  // WDL_RUNTIME_FINGERPRINT_H_

@@ -1,12 +1,32 @@
 #include "runtime/system.h"
 
+#include <cassert>
+#include <chrono>
+#include <thread>
+
 #include "base/logging.h"
 
 namespace wdl {
 
 System::System(SystemOptions options)
     : options_(options),
-      network_(options.network_seed, options.default_link) {}
+      network_(std::make_unique<SimulatedNetwork>(options.network_seed,
+                                                  options.default_link)) {
+  simulated_ = static_cast<SimulatedNetwork*>(network_.get());
+}
+
+System::System(std::unique_ptr<Network> network, SystemOptions options)
+    : options_(options), network_(std::move(network)) {}
+
+SimulatedNetwork& System::network() {
+  assert(simulated_ != nullptr && "system runs on a non-simulated network");
+  return *simulated_;
+}
+
+const SimulatedNetwork& System::network() const {
+  assert(simulated_ != nullptr && "system runs on a non-simulated network");
+  return *simulated_;
+}
 
 Peer* System::CreatePeer(const std::string& name, PeerOptions options) {
   auto [it, inserted] =
@@ -58,7 +78,7 @@ RoundReport System::RunRound() {
   report.round = ++rounds_run_;
 
   // Deliver everything due by now.
-  for (Envelope& e : network_.DeliverDue(now_)) {
+  for (Envelope& e : network_->DeliverDue(now_)) {
     Peer* target = GetPeer(e.to);
     if (target == nullptr) {
       WDL_LOG(Warning) << "dropping envelope to unknown peer: "
@@ -69,11 +89,20 @@ RoundReport System::RunRound() {
     ++report.envelopes_delivered;
   }
 
+  // Link resets (an asynchronous transport lost and/or re-established
+  // a connection): every local peer re-establishes its streams with
+  // the affected remote through the resync machinery.
+  for (const std::string& reset : network_->TakePeerResets()) {
+    for (auto& [name, peer] : peers_) {
+      if (name != reset) peer->engine().NoteLinkReset(reset);
+    }
+  }
+
   // Wrappers move external data in/out before the stages.
   SyncWrappers();
 
   // Run a stage at every peer with pending work.
-  uint64_t bytes_before = network_.stats().bytes_sent;
+  uint64_t bytes_before = network_->StatsSnapshot().bytes_sent;
   for (auto& [name, peer] : peers_) {
     if (!peer->HasPendingWork()) continue;
     ++report.stages_run;
@@ -94,7 +123,7 @@ RoundReport System::RunRound() {
         default:
           break;
       }
-      Status st = network_.Submit(std::move(e), now_);
+      Status st = network_->Submit(std::move(e), now_);
       if (!st.ok()) WDL_LOG(Error) << "submit failed: " << st;
       ++report.envelopes_sent;
     }
@@ -108,18 +137,18 @@ RoundReport System::RunRound() {
     for (auto& [name, peer] : peers_) {
       for (Envelope& e : peer->MakeHeartbeats()) {
         ++report.heartbeats_sent;
-        Status st = network_.Submit(std::move(e), now_);
+        Status st = network_->Submit(std::move(e), now_);
         if (!st.ok()) WDL_LOG(Error) << "heartbeat submit failed: " << st;
         ++report.envelopes_sent;
       }
     }
   }
-  report.bytes_sent = network_.stats().bytes_sent - bytes_before;
+  report.bytes_sent = network_->StatsSnapshot().bytes_sent - bytes_before;
   return report;
 }
 
 bool System::IsQuiescent() const {
-  if (network_.HasInFlight()) return false;
+  if (network_->HasInFlight()) return false;
   for (const auto& [name, peer] : peers_) {
     if (peer->HasPendingWork()) return false;
   }
@@ -153,6 +182,29 @@ Result<int> System::RunUntilQuiescent(int max_rounds) {
   return Status::FailedPrecondition(
       "system did not quiesce within " + std::to_string(max_rounds) +
       " rounds");
+}
+
+Result<int> System::RunUntilIdle(int idle_rounds, int max_wall_ms,
+                                 int sleep_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(max_wall_ms);
+  int idle = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    RoundReport r = RunRound();
+    // Heartbeats are pure observation; they must not keep an otherwise
+    // idle system looking busy.
+    bool worked = r.envelopes_delivered > 0 || r.stages_run > 0 ||
+                  r.envelopes_sent > r.heartbeats_sent;
+    if (worked) {
+      idle = 0;
+      continue;
+    }
+    if (IsQuiescent() && ++idle >= idle_rounds) return rounds_run_;
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  return Status::FailedPrecondition(
+      "system did not go idle within " + std::to_string(max_wall_ms) +
+      " ms");
 }
 
 }  // namespace wdl

@@ -45,17 +45,28 @@ struct RoundReport {
   uint64_t bytes_sent = 0;           // wire bytes submitted this round
 };
 
-/// The multi-peer coordinator: owns the simulated network and the
-/// peers, and advances global time in rounds. One round =
-///   deliver due messages -> sync wrappers -> run a stage at every
-///   peer with pending work -> submit their outbound envelopes.
+/// The multi-peer coordinator: owns the transport and the peers, and
+/// advances global time in rounds. One round =
+///   deliver due messages -> handle link resets -> sync wrappers ->
+///   run a stage at every peer with pending work -> submit their
+///   outbound envelopes.
 ///
 /// Peers whose engines have nothing to do are skipped, so a converged
 /// system does no work — quiescence is "no peer has pending work and
 /// nothing is in flight".
+///
+/// The default transport is the deterministic SimulatedNetwork; an
+/// asynchronous transport (TcpNetwork) can be injected instead, in
+/// which case quiescence is a *local* judgment (remote peers of other
+/// processes may still be computing) and convergence is detected by
+/// staying idle — see RunUntilIdle.
 class System {
  public:
   explicit System(SystemOptions options = {});
+  /// Hosts this system's peers on an injected transport (e.g. a
+  /// started TcpNetwork). The network must outlive nothing — the
+  /// system takes ownership.
+  System(std::unique_ptr<Network> network, SystemOptions options = {});
 
   System(const System&) = delete;
   System& operator=(const System&) = delete;
@@ -67,8 +78,14 @@ class System {
   const Peer* GetPeer(const std::string& name) const;
   std::vector<std::string> PeerNames() const;
 
-  SimulatedNetwork& network() { return network_; }
-  const SimulatedNetwork& network() const { return network_; }
+  /// The simulated network, for tests and benches that configure links
+  /// and read deterministic stats. Only valid when the system was built
+  /// with the default (simulated) transport.
+  SimulatedNetwork& network();
+  const SimulatedNetwork& network() const;
+  /// The transport, whichever kind it is.
+  Network& transport() { return *network_; }
+  const Network& transport() const { return *network_; }
 
   /// Attaches a wrapper to its peer (calls Setup immediately; Sync runs
   /// each round before the stages).
@@ -81,6 +98,15 @@ class System {
   /// rounds it took, or FailedPrecondition after `max_rounds`.
   Result<int> RunUntilQuiescent(int max_rounds = 1000);
 
+  /// Real-time variant for asynchronous transports: runs rounds on the
+  /// wall clock, sleeping `sleep_ms` between empty ones, until the
+  /// system has been locally quiescent for `idle_rounds` consecutive
+  /// polls (heartbeat traffic does not count as work). Returns rounds
+  /// run, or FailedPrecondition after `max_wall_ms`. "Idle" is local:
+  /// a remote process may still send us something later.
+  Result<int> RunUntilIdle(int idle_rounds, int max_wall_ms,
+                           int sleep_ms = 1);
+
   bool IsQuiescent() const;
 
   double now() const { return now_; }
@@ -90,7 +116,8 @@ class System {
   void SyncWrappers();
 
   SystemOptions options_;
-  SimulatedNetwork network_;
+  std::unique_ptr<Network> network_;
+  SimulatedNetwork* simulated_ = nullptr;  // network_ when simulated
   std::map<std::string, std::unique_ptr<Peer>> peers_;
   std::vector<std::unique_ptr<Wrapper>> wrappers_;
   double now_ = 0.0;

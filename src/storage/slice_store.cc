@@ -93,6 +93,22 @@ void SliceStore::DropRelation(const std::string& relation) {
   support_.erase(relation);
 }
 
+std::vector<std::string> SliceStore::RelationsFromSender(
+    const std::string& sender) const {
+  std::vector<std::string> out;
+  for (const auto& [relation, senders] : streams_) {
+    if (senders.count(sender)) out.push_back(relation);
+  }
+  return out;
+}
+
+void SliceStore::ResetStreamVersions(const std::string& sender) {
+  for (auto& [relation, senders] : streams_) {
+    auto it = senders.find(sender);
+    if (it != senders.end()) it->second.version = 0;
+  }
+}
+
 uint64_t SliceStore::StreamVersion(const std::string& relation,
                                    const std::string& sender) const {
   auto rel_it = streams_.find(relation);

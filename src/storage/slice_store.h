@@ -120,6 +120,17 @@ class SliceStore {
   /// when a scratch relation's name is recycled).
   void DropRelation(const std::string& relation);
 
+  /// Relations for which `sender` has a stream here, in name order.
+  std::vector<std::string> RelationsFromSender(
+      const std::string& sender) const;
+
+  /// Forgets the stream *positions* of every stream from `sender`
+  /// (slices stay). After a transport link reset the sender may have
+  /// restarted and begun renumbering its streams from 1; resetting to
+  /// version 0 lets its fresh snapshots pass the version gate instead
+  /// of being dropped as stale.
+  void ResetStreamVersions(const std::string& sender);
+
   // --- observability (tests, listings) -------------------------------
   uint64_t StreamVersion(const std::string& relation,
                          const std::string& sender) const;

@@ -118,6 +118,23 @@ TEST(NetworkTest, EdgeCountsTrackTopology) {
   EXPECT_EQ((counts[{"b", "a"}]), 1u);
 }
 
+TEST(NetworkTest, DuplicatedFramesAreAccountedSeparately) {
+  // With p=1 every frame is delivered twice. The sender only shipped
+  // each frame once, so bytes_sent must count it once; the injected
+  // copies land byte-for-byte in bytes_duplicated instead.
+  SimulatedNetwork net(1, LinkConfig{.latency = 0.1,
+                                     .duplicate_probability = 1.0});
+  const int kMessages = 5;
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(net.Submit(Env("a", "b", "payload"), 0.0).ok());
+  }
+  EXPECT_EQ(net.DeliverDue(10.0).size(), 2u * kMessages);
+  NetworkStats s = net.stats();
+  EXPECT_EQ(s.messages_duplicated, static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(s.bytes_sent % kMessages, 0u);  // identical frames, each once
+  EXPECT_EQ(s.bytes_duplicated, s.bytes_sent);
+}
+
 TEST(NetworkTest, JitterReordersMessages) {
   // With heavy jitter, submission order and delivery order diverge for
   // some seed (deterministically, given the seed).

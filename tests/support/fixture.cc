@@ -1,19 +1,15 @@
 #include "support/fixture.h"
 
+#include "runtime/fingerprint.h"
+
 namespace wdl {
 namespace test {
 
 std::string GlobalStateFingerprint(const System& system) {
-  std::string fp;
-  for (const std::string& name : system.PeerNames()) {
-    const Peer* peer = system.GetPeer(name);
-    fp += "== " + name + "\n";
-    for (const std::string& rel : peer->engine().catalog().RelationNames()) {
-      fp += peer->RenderRelation(rel);
-    }
-    fp += peer->engine().ProgramListing();
-  }
-  return fp;
+  // The canonical renderer lives in the runtime now (wdl_peerd and the
+  // TCP convergence tests share it); this alias keeps the historical
+  // test-support name working.
+  return wdl::GlobalStateFingerprint(system);
 }
 
 Peer* MultiPeerFixture::AddPeer(const std::string& name,

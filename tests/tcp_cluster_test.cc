@@ -1,0 +1,241 @@
+// The paper's deployment, for real: N separate OS processes, each a
+// wdl_peerd hosting one peer, rendezvousing through address files and
+// converging over TCP to exactly the state the in-process simulator
+// computes. The restart test SIGKILLs one daemon mid-conversation and
+// starts a fresh one from nothing but its program file: the survivors'
+// link-reset handling plus the resync protocol must rebuild it.
+//
+// The daemon binary path is injected by CMake as WDL_PEERD_PATH.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/fingerprint.h"
+#include "runtime/system.h"
+
+namespace wdl {
+namespace {
+
+const char* kAlice = R"(
+  collection ext edge@alice(src: string, dst: string);
+  collection int reach@alice(src: string, dst: string);
+  collection ext selected@alice(p: string);
+  collection int gallery@alice(id: int, name: string);
+  fact edge@alice("a", "b");
+  fact edge@alice("b", "c");
+  fact edge@alice("c", "d");
+  rule reach@alice($x, $y) :- edge@alice($x, $y);
+  rule reach@alice($x, $z) :- reach@alice($x, $y), edge@alice($y, $z);
+  fact selected@alice("bob");
+  fact selected@alice("carol");
+  rule gallery@alice($id, $n) :- selected@alice($p), pictures@$p($id, $n);
+  rule mirror@bob($x, $y) :- reach@alice($x, $y);
+)";
+
+const char* kBob = R"(
+  collection ext pictures@bob(id: int, name: string);
+  fact pictures@bob(1, "sea.jpg");
+  fact pictures@bob(2, "boat.jpg");
+)";
+
+const char* kCarol = R"(
+  collection ext pictures@carol(id: int, name: string);
+  fact pictures@carol(3, "cat.jpg");
+)";
+
+const std::vector<std::pair<std::string, const char*>> kCluster = {
+    {"alice", kAlice}, {"bob", kBob}, {"carol", kCarol}};
+
+std::map<std::string, std::string> SimulatorOracle() {
+  System sim;
+  PeerOptions po;
+  po.trust_all_delegations = true;
+  std::vector<Peer*> peers;
+  for (const auto& [name, program] : kCluster) {
+    (void)program;
+    peers.push_back(sim.CreatePeer(name, po));
+  }
+  for (size_t i = 0; i < peers.size(); ++i) {
+    EXPECT_TRUE(peers[i]->LoadProgramText(kCluster[i].second).ok());
+  }
+  EXPECT_TRUE(sim.RunUntilQuiescent().ok());
+  std::map<std::string, std::string> fps;
+  for (Peer* p : peers) fps[p->name()] = PeerStateFingerprint(*p);
+  return fps;
+}
+
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class TcpClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string tmpl = ::testing::TempDir() + "/wdl_cluster_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl.data()), nullptr);
+    dir_ = tmpl;
+    for (const auto& [name, program] : kCluster) {
+      std::ofstream out(dir_ + "/" + name + ".wdl");
+      out << program;
+      ASSERT_TRUE(out.good());
+    }
+  }
+
+  void TearDown() override {
+    // StopPeer erases from pids_; don't iterate the live map.
+    std::vector<std::string> names;
+    for (const auto& [name, pid] : pids_) names.push_back(name);
+    for (const std::string& name : names) StopPeer(name);
+  }
+
+  /// fork+exec one wdl_peerd; stderr goes to <dir>/<name>.log.
+  void SpawnPeer(const std::string& name) {
+    std::vector<std::string> args = {
+        WDL_PEERD_PATH,
+        "--name",        name,
+        "--program",     dir_ + "/" + name + ".wdl",
+        "--listen",      "0",
+        "--addr-file",   dir_ + "/" + name + ".addr",
+        "--fingerprint", dir_ + "/" + name + ".fp",
+        "--idle-ms",     "150",
+    };
+    for (const auto& [other, program] : kCluster) {
+      (void)program;
+      if (other == name) continue;
+      args.push_back("--peer");
+      args.push_back(other + "=@" + dir_ + "/" + other + ".addr");
+    }
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Send both streams to the log: a daemon that inherited the
+      // test's stdout pipe would keep ctest waiting on it even after
+      // the test exits.
+      std::string log = dir_ + "/" + name + ".log";
+      int fd = ::open(log.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      ::_exit(127);  // exec failed
+    }
+    pids_[name] = pid;
+  }
+
+  void KillPeerHard(const std::string& name) {
+    auto it = pids_.find(name);
+    ASSERT_NE(it, pids_.end());
+    ASSERT_EQ(::kill(it->second, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(it->second, &status, 0), it->second);
+    pids_.erase(it);
+  }
+
+  void StopPeer(const std::string& name) {
+    auto it = pids_.find(name);
+    if (it == pids_.end()) return;
+    ::kill(it->second, SIGTERM);
+    // Bounded graceful wait, then the hammer.
+    for (int i = 0; i < 500; ++i) {
+      int status = 0;
+      if (::waitpid(it->second, &status, WNOHANG) == it->second) {
+        pids_.erase(it);
+        return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::kill(it->second, SIGKILL);
+    int status = 0;
+    ::waitpid(it->second, &status, 0);
+    pids_.erase(it);
+  }
+
+  /// Waits until every peer's published fingerprint equals the oracle's.
+  bool AwaitFingerprints(const std::map<std::string, std::string>& oracle,
+                         int timeout_ms) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      bool all = true;
+      for (const auto& [name, want] : oracle) {
+        if (ReadFileOrEmpty(dir_ + "/" + name + ".fp") != want) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    return false;
+  }
+
+  void DumpStateOnFailure(const std::map<std::string, std::string>& oracle) {
+    for (const auto& [name, want] : oracle) {
+      std::string got = ReadFileOrEmpty(dir_ + "/" + name + ".fp");
+      if (got != want) {
+        ADD_FAILURE() << name << " fingerprint mismatch.\n--- want:\n"
+                      << want << "--- got:\n"
+                      << got << "--- log:\n"
+                      << ReadFileOrEmpty(dir_ + "/" + name + ".log");
+      }
+    }
+  }
+
+  std::string dir_;
+  std::map<std::string, pid_t> pids_;
+};
+
+TEST_F(TcpClusterTest, ThreeProcessesConvergeAndHealAfterKill) {
+  auto oracle = SimulatorOracle();
+  ASSERT_EQ(oracle.size(), 3u);
+
+  for (const auto& [name, program] : kCluster) {
+    (void)program;
+    SpawnPeer(name);
+  }
+  bool converged = AwaitFingerprints(oracle, 90000);
+  if (!converged) DumpStateOnFailure(oracle);
+  ASSERT_TRUE(converged) << "initial convergence timed out";
+
+  // Kill bob without ceremony; its fingerprint file is stale evidence,
+  // so remove it before demanding fresh convergence.
+  KillPeerHard("bob");
+  ASSERT_EQ(::unlink((dir_ + "/bob.fp").c_str()), 0);
+
+  // A fresh daemon restarts from the program file alone — everything
+  // bob had learned (alice's mirror, the delegated gallery rule) must
+  // come back through the survivors' link-reset + resync handling.
+  SpawnPeer("bob");
+  converged = AwaitFingerprints(oracle, 90000);
+  if (!converged) DumpStateOnFailure(oracle);
+  ASSERT_TRUE(converged) << "post-restart convergence timed out";
+}
+
+}  // namespace
+}  // namespace wdl
