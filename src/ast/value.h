@@ -1,6 +1,7 @@
 #ifndef WDL_AST_VALUE_H_
 #define WDL_AST_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <ostream>
 #include <string>
@@ -37,6 +38,29 @@ class Value {
 
   Value() : rep_(int64_t{0}) {}
 
+  // The atomic hash cache deletes the implicit copy/move operations;
+  // these reproduce them exactly (the cached hash travels with the
+  // value, so a copy never recomputes). A moved-from Value keeps its
+  // old cache, matching the pre-atomic behavior: its rep_ is
+  // unspecified and it is only ever assigned-to or destroyed.
+  Value(const Value& o)
+      : rep_(o.rep_), hash_(o.hash_.load(std::memory_order_relaxed)) {}
+  Value(Value&& o) noexcept
+      : rep_(std::move(o.rep_)),
+        hash_(o.hash_.load(std::memory_order_relaxed)) {}
+  Value& operator=(const Value& o) {
+    rep_ = o.rep_;
+    hash_.store(o.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    rep_ = std::move(o.rep_);
+    hash_.store(o.hash_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
   static Value Int(int64_t v) { return Value(Rep(v)); }
   static Value Double(double v) { return Value(Rep(v)); }
   static Value String(std::string v) { return Value(Rep(std::move(v))); }
@@ -66,14 +90,17 @@ class Value {
   /// payloads flow through TupleHasher and index probes far more often
   /// than they are hashed, so the steady state is a plain load, while
   /// construction-only paths (e.g. wire decode) never pay for hashing.
-  /// 0 marks "not yet computed"; a real hash of 0 is remapped to 1
-  /// (mutable cache is fine: values are per-peer, single-threaded).
+  /// 0 marks "not yet computed"; a real hash of 0 is remapped to 1.
+  /// The cache is a relaxed atomic so concurrent readers (parallel Δ
+  /// rounds probing shared frozen relations, DESIGN.md §8) race only on
+  /// which thread publishes the identical value — the hash is a pure
+  /// function of the immutable rep_, so no ordering is needed.
   uint64_t Hash() const {
-    uint64_t h = hash_;
+    uint64_t h = hash_.load(std::memory_order_relaxed);
     if (h == 0) {
       h = ComputeHash();
       if (h == 0) h = 1;
-      hash_ = h;
+      hash_.store(h, std::memory_order_relaxed);
     }
     return h;
   }
@@ -83,7 +110,7 @@ class Value {
   /// values (index keys and hash buckets collide, equality must still
   /// discriminate) without hunting for real FNV-1a collisions.
   static Value WithHashForTesting(Value v, uint64_t hash) {
-    v.hash_ = hash;
+    v.hash_.store(hash, std::memory_order_relaxed);
     return v;
   }
 
@@ -107,7 +134,8 @@ class Value {
   explicit Value(Rep rep) : rep_(std::move(rep)) {}
   uint64_t ComputeHash() const;
   Rep rep_;
-  mutable uint64_t hash_ = 0;  // memoized Hash(); 0 = not yet computed
+  // Memoized Hash(); 0 = not yet computed. Relaxed atomic: see Hash().
+  mutable std::atomic<uint64_t> hash_{0};
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Value& v) {

@@ -20,10 +20,12 @@ namespace wdl {
 /// appear on the wire or in provenance hashes — `hash()` returns the
 /// stable content hash (HashString) for that.
 ///
-/// The table is process-wide and append-only, guarded by a mutex.
-/// Interning is O(strlen) on a miss and a hash lookup on a hit; id ->
-/// string resolution is a vector index. The runtime is share-nothing
-/// single-threaded per peer, so the lock is uncontended in practice.
+/// The table is process-wide, append-only, and thread-safe: it is the
+/// one structure every peer shares, so parallel stage evaluation
+/// (DESIGN.md §8) hits it from many threads at once. Intern/Find go
+/// through a shared_mutex (exclusive only on a first-time intern);
+/// id -> entry resolution (str()/hash(), the evaluator's inner-loop
+/// path) is lock-free over chunked storage whose entries never move.
 ///
 /// Append-only means every distinct interned name costs one permanent
 /// small entry. Program identifiers are finite; the one unbounded

@@ -1,0 +1,75 @@
+#include "base/thread_pool.h"
+
+namespace wdl {
+
+ThreadPool::ThreadPool(int threads) {
+  int spawn = threads - 1;
+  if (spawn < 0) spawn = 0;
+  workers_.reserve(static_cast<size_t>(spawn));
+  for (int i = 0; i < spawn; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    outstanding_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller is a worker too: steal indices until the dispenser runs
+  // dry, then wait for the spawned workers to drain theirs.
+  for (int i; (i = next_.fetch_add(1, std::memory_order_relaxed)) < n;) {
+    fn(i);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job;
+    int n;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+      n = job_n_;
+    }
+    // Every worker joins every epoch exactly once (outstanding_ counts
+    // them all), even if it wakes after the dispenser is empty — the
+    // barrier in ParallelFor waits for this decrement, which is what
+    // makes it safe to reuse job_/next_ for the next epoch.
+    for (int i; (i = next_.fetch_add(1, std::memory_order_relaxed)) < n;) {
+      (*job)(i);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace wdl

@@ -1,0 +1,65 @@
+#ifndef WDL_BASE_THREAD_POOL_H_
+#define WDL_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wdl {
+
+/// A persistent fork-join worker pool for the two parallel-evaluation
+/// levels (DESIGN.md §8): System::RunRound fans peer stages out over
+/// one, and each Engine fans a semi-naive round's Δ-partitions out over
+/// another. Workers are spawned once and parked on a condition variable
+/// between jobs, so a fixpoint that runs thousands of tiny rounds pays
+/// thread-creation cost zero times, not thousands.
+///
+/// The only primitive is ParallelFor(n, fn): run fn(0..n-1), stealing
+/// indices from a shared atomic counter, and return when all n are
+/// done. The caller participates as a worker, so ThreadPool(k) applies
+/// k-way parallelism with k-1 spawned threads, and ThreadPool(1) spawns
+/// nothing and degenerates to a plain loop.
+///
+/// Not reentrant: ParallelFor must not be called from inside a task on
+/// the same pool (the engine- and system-level pools are distinct
+/// objects, so nested use across levels is fine). One job runs at a
+/// time per pool.
+class ThreadPool {
+ public:
+  /// `threads` = total parallelism including the calling thread;
+  /// clamped to >= 1. Spawns threads-1 workers.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributed over the workers and
+  /// the calling thread; returns after all n calls complete. Tasks must
+  /// not throw and must not call back into this pool.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;  // guarded by mu_
+  int job_n_ = 0;                                  // guarded by mu_
+  uint64_t epoch_ = 0;                             // guarded by mu_
+  int outstanding_ = 0;                            // guarded by mu_
+  bool stop_ = false;                              // guarded by mu_
+  std::atomic<int> next_{0};  // index dispenser for the current job
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_BASE_THREAD_POOL_H_

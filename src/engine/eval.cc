@@ -265,12 +265,21 @@ void RuleEvaluator::ExecFrom(const RulePlan& plan,
     const Value& key = atom.index_key_is_const ? atom.index_const
                                                : *slots_[atom.index_slot];
     ++counters_.index_lookups;
-    relation->LookupEqual(static_cast<size_t>(atom.index_column), key,
-                          visit);
+    if (options_.concurrent_reads) {
+      relation->LookupEqualShared(static_cast<size_t>(atom.index_column), key,
+                                  visit);
+    } else {
+      relation->LookupEqual(static_cast<size_t>(atom.index_column), key,
+                            visit);
+    }
     return;
   }
   ++counters_.full_scans;
-  relation->ForEach(visit);
+  if (options_.concurrent_reads) {
+    relation->ForEachShared(visit);
+  } else {
+    relation->ForEach(visit);
+  }
 }
 
 void RuleEvaluator::EmitHeadPlan(const RulePlan& plan, const Sinks& sinks) {

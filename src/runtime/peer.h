@@ -25,6 +25,14 @@ struct PeerOptions {
 /// that turns engine stage output into network envelopes and inbound
 /// envelopes into engine inputs. Peers are driven by a System but can
 /// also be used standalone in tests.
+///
+/// Concurrency contract (DESIGN.md §8): a Peer's state is touched by
+/// exactly one thread at a time, but *different* peers' RunStage calls
+/// may run concurrently — everything a stage reads or writes is owned
+/// by this peer (engine, catalog, gate, sequence numbers) or is one of
+/// the process-wide thread-safe structures (the Symbol intern table).
+/// Envelope delivery (HandleEnvelope) and the returned envelopes'
+/// submission stay on the System's driving thread.
 class Peer {
  public:
   explicit Peer(std::string name, PeerOptions options = {});

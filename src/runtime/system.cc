@@ -2,11 +2,22 @@
 
 #include <cassert>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "base/logging.h"
 
 namespace wdl {
+
+int DefaultWorkerThreads() {
+  static const int v = [] {
+    const char* s = std::getenv("WDL_WORKER_THREADS");
+    if (s == nullptr) return 1;
+    int n = std::atoi(s);
+    return n >= 1 ? n : 1;
+  }();
+  return v;
+}
 
 System::System(SystemOptions options)
     : options_(options),
@@ -101,12 +112,35 @@ RoundReport System::RunRound() {
   // Wrappers move external data in/out before the stages.
   SyncWrappers();
 
-  // Run a stage at every peer with pending work.
+  // Run a stage at every peer with pending work. Pending peers are
+  // collected in map (name) order; with worker_threads > 1 their
+  // stages run concurrently on the pool (peers are share-nothing
+  // except the thread-safe Symbol table), but outbound envelopes are
+  // buffered and submitted serially below in that same name order —
+  // byte-identical traffic, and on the simulated transport an
+  // identical RNG stream, to the serial loop.
   uint64_t bytes_before = network_->StatsSnapshot().bytes_sent;
+  std::vector<Peer*> pending;
   for (auto& [name, peer] : peers_) {
-    if (!peer->HasPendingWork()) continue;
-    ++report.stages_run;
-    for (Envelope& e : peer->RunStage()) {
+    if (peer->HasPendingWork()) pending.push_back(peer.get());
+  }
+  report.stages_run = pending.size();
+  std::vector<std::vector<Envelope>> stage_out(pending.size());
+  if (options_.worker_threads > 1 && pending.size() > 1) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+    }
+    pool_->ParallelFor(static_cast<int>(pending.size()), [&](int i) {
+      stage_out[static_cast<size_t>(i)] =
+          pending[static_cast<size_t>(i)]->RunStage();
+    });
+  } else {
+    for (size_t i = 0; i < pending.size(); ++i) {
+      stage_out[i] = pending[i]->RunStage();
+    }
+  }
+  for (std::vector<Envelope>& envs : stage_out) {
+    for (Envelope& e : envs) {
       switch (e.message.type) {
         case MessageType::kDerivedSet:
           ++report.full_set_messages;
