@@ -6,11 +6,15 @@
 #   BENCH_BINARIES  comma-separated list of bench executable paths
 #   OUTPUT          path of the merged JSON baseline to write
 #   MIN_TIME        --benchmark_min_time value in seconds (default 0.01)
+#   RSS_RUN         optional path to the rss_run wrapper; when set, each
+#                   suite's report gains a top-level "peak_rss_mb" key
+#                   with the bench process's measured peak resident size
 #
 # Output shape:
 #   { "schema": "wdl-bench-baseline-v1",
 #     "min_time": "<seconds>",
-#     "suites": { "<bench name>": <google-benchmark JSON report>, ... } }
+#     "suites": { "<bench name>": <google-benchmark JSON report
+#                                  (+ "peak_rss_mb")>, ... } }
 
 if(NOT DEFINED BENCH_BINARIES OR NOT DEFINED OUTPUT)
   message(FATAL_ERROR "run_bench.cmake needs -DBENCH_BINARIES=... -DOUTPUT=...")
@@ -27,18 +31,30 @@ foreach(bench_path IN LISTS bench_list)
   get_filename_component(bench_name "${bench_path}" NAME_WE)
   set(report "${out_dir}/${bench_name}.report.json")
   message(STATUS "bench: running ${bench_name} (min_time=${MIN_TIME}s)")
+  set(bench_cmd "${bench_path}"
+    "--benchmark_min_time=${MIN_TIME}"
+    "--benchmark_repetitions=1"
+    "--benchmark_out=${report}"
+    "--benchmark_out_format=json")
+  if(DEFINED RSS_RUN)
+    set(rss_file "${out_dir}/${bench_name}.rss")
+    set(bench_cmd "${RSS_RUN}" "${rss_file}" ${bench_cmd})
+  endif()
   execute_process(
-    COMMAND "${bench_path}"
-      "--benchmark_min_time=${MIN_TIME}"
-      "--benchmark_repetitions=1"
-      "--benchmark_out=${report}"
-      "--benchmark_out_format=json"
+    COMMAND ${bench_cmd}
     RESULT_VARIABLE rc
     OUTPUT_QUIET)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "bench ${bench_name} exited with ${rc}")
   endif()
   file(READ "${report}" report_json)
+  if(DEFINED RSS_RUN)
+    file(READ "${rss_file}" peak_rss_mb)
+    string(STRIP "${peak_rss_mb}" peak_rss_mb)
+    # Graft the measurement into the report object's first line.
+    string(REGEX REPLACE "^\\{" "{\n  \"peak_rss_mb\": ${peak_rss_mb},"
+      report_json "${report_json}")
+  endif()
   if(suites)
     string(APPEND suites ",\n")
   endif()

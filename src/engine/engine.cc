@@ -798,28 +798,33 @@ void Engine::RunFixpoint(
       }
     } else {
       // Semi-naive: only join against the Δ of the previous iteration.
-      // When eval_threads > 1 and every active rule is round-eligible,
-      // rounds run Δ-partitioned across the engine's worker pool with
-      // buffered emissions replayed through the sinks above (DESIGN.md
-      // §8); the serial loop stays the oracle and the fallback.
+      // When eval_threads > 1, the round-eligible rules run
+      // Δ-partitioned across the engine's worker pool with buffered
+      // emissions replayed through the sinks above (DESIGN.md §8);
+      // ineligible rules (delegation-capable, non-rotatable body) run
+      // the serial loop against the same frozen Δ after the replay
+      // barrier — a per-*rule* fallback, so one such rule no longer
+      // forces the whole round off the parallel path. The serial loop
+      // stays the oracle and the no-eligible-rules fallback.
       ParallelEval* par = nullptr;
       std::vector<ParallelEval::ParallelRule> prules;
+      std::vector<const ActiveRule*> serial_rules;
       if (options_.eval_threads > 1 && options_.use_compiled_plans) {
-        bool eligible = true;
+        std::vector<const ActiveRule*> eligible;
         for (const ActiveRule& ar : active) {
-          if (!PlanRoundEligible(ar.plan, self_sym_)) {
-            eligible = false;
-            break;
-          }
+          (PlanRoundEligible(ar.plan, self_sym_) ? eligible : serial_rules)
+              .push_back(&ar);
         }
-        if (eligible) par = EnsureParallelEval();
+        if (!eligible.empty()) par = EnsureParallelEval();
         if (par != nullptr) {
-          prules.reserve(active.size());
-          for (const ActiveRule& ar : active) {
+          prules.reserve(eligible.size());
+          for (const ActiveRule* ar : eligible) {
             prules.push_back(
-                ParallelEval::ParallelRule{ar.plan, ar.rule->head_deletes});
-            PrebuildPlanIndexes(&catalog_, *ar.plan);
+                ParallelEval::ParallelRule{ar->plan, ar->rule->head_deletes});
+            PrebuildPlanIndexes(&catalog_, *ar->plan);
           }
+        } else {
+          serial_rules.clear();  // plain serial loop covers everything
         }
       }
       auto replay_fact = [&](uint32_t r, bool remote, const Fact& f) {
@@ -840,8 +845,22 @@ void Engine::RunFixpoint(
         ++iterations;
         if (par != nullptr) {
           ++evaluator_.mutable_counters()->parallel_rounds;
+          if (!serial_rules.empty()) {
+            ++evaluator_.mutable_counters()->parallel_mixed_rounds;
+          }
           par->RunRound(prules, delta, replay_fact, replay_delegation,
                         evaluator_.mutable_counters());
+          // Ineligible rules see the same frozen Δ, on the driving
+          // thread, after the parallel replay (emissions land in
+          // order-independent sets/maps, and semi-naive finds any
+          // derivation enabled by this round's parallel inserts at most
+          // one round later — same fixpoint as all-serial).
+          for (const ActiveRule* ar : serial_rules) {
+            for (size_t pos = 0; pos < ar->rule->body.size(); ++pos) {
+              if (ar->rule->body[pos].negated) continue;
+              evaluate(*ar, &delta, static_cast<int>(pos));
+            }
+          }
           continue;
         }
         for (const ActiveRule& ar : active) {
@@ -1694,32 +1713,36 @@ void Engine::RunStageIncremental(StageResult* result, bool changed_local,
   }
 
   int iterations = 0;
-  // Parallel forward rounds under the same gate as RunFixpoint: every
-  // active rule compiled, Δ-first variants everywhere, no delegation
-  // possible. Replay routes buffered emissions through the ordinary
-  // sinks above, so tracker/contribution/delta bookkeeping is the
-  // serial code verbatim. (The serial path's body_reads_delta filter
-  // is skipped here — a rule whose body cannot read the Δ exits its
-  // variant's leading Δ-probe immediately, so the filter buys nothing
-  // in parallel mode.)
+  // Parallel forward rounds under the same per-rule gate as
+  // RunFixpoint: round-eligible rules (compiled, Δ-first variants
+  // everywhere, no delegation possible) run Δ-partitioned; ineligible
+  // rules fall back to the serial loop within the same round, after the
+  // replay barrier. Replay routes buffered emissions through the
+  // ordinary sinks above, so tracker/contribution/delta bookkeeping is
+  // the serial code verbatim. (The serial path's body_reads_delta
+  // filter is skipped for the eligible rules — a rule whose body cannot
+  // read the Δ exits its variant's leading Δ-probe immediately, so the
+  // filter buys nothing in parallel mode; serial-fallback rules keep
+  // it.)
   ParallelEval* par = nullptr;
   std::vector<ParallelEval::ParallelRule> prules;
+  std::vector<const ActiveRule*> serial_rules;
   if (options_.eval_threads > 1 && options_.use_compiled_plans) {
-    bool eligible = true;
+    std::vector<const ActiveRule*> eligible;
     for (const ActiveRule& ar : active) {
-      if (!PlanRoundEligible(ar.plan, self_sym_)) {
-        eligible = false;
-        break;
-      }
+      (PlanRoundEligible(ar.plan, self_sym_) ? eligible : serial_rules)
+          .push_back(&ar);
     }
-    if (eligible) par = EnsureParallelEval();
+    if (!eligible.empty()) par = EnsureParallelEval();
     if (par != nullptr) {
-      prules.reserve(active.size());
-      for (const ActiveRule& ar : active) {
+      prules.reserve(eligible.size());
+      for (const ActiveRule* ar : eligible) {
         prules.push_back(
-            ParallelEval::ParallelRule{ar.plan, ar.ir->rule.head_deletes});
-        PrebuildPlanIndexes(&catalog_, *ar.plan);
+            ParallelEval::ParallelRule{ar->plan, ar->ir->rule.head_deletes});
+        PrebuildPlanIndexes(&catalog_, *ar->plan);
       }
+    } else {
+      serial_rules.clear();  // plain serial loop covers everything
     }
   }
   auto replay_fact = [&](uint32_t r, bool remote, const Fact& f) {
@@ -1736,8 +1759,15 @@ void Engine::RunStageIncremental(StageResult* result, bool changed_local,
     next_delta = DeltaMap();
     if (par != nullptr) {
       ++evaluator_.mutable_counters()->parallel_rounds;
+      if (!serial_rules.empty()) {
+        ++evaluator_.mutable_counters()->parallel_mixed_rounds;
+      }
       par->RunRound(prules, delta, replay_fact, replay_delegation,
                     evaluator_.mutable_counters());
+      for (const ActiveRule* ar : serial_rules) {
+        if (!body_reads_delta(*ar, delta)) continue;
+        evaluate_delta_positions(*ar, sinks, &delta);
+      }
     } else {
       for (const ActiveRule& ar : active) {
         if (!body_reads_delta(ar, delta)) continue;

@@ -1,6 +1,7 @@
 #include "engine/eval.h"
 
 #include "base/logging.h"
+#include "engine/plan_cache.h"
 
 namespace wdl {
 
@@ -76,16 +77,21 @@ void RuleEvaluator::EvaluatePlan(const RulePlan& plan, const DeltaMap* delta,
 }
 
 const RulePlan& RuleEvaluator::PlanFor(const Rule& rule) {
-  std::vector<std::unique_ptr<RulePlan>>& bucket = plans_[rule.Hash()];
-  for (const std::unique_ptr<RulePlan>& plan : bucket) {
-    if (plan->rule == rule) {
+  std::vector<LocalPlanEntry>& bucket = plans_[rule.Hash()];
+  for (const LocalPlanEntry& entry : bucket) {
+    if (entry.rule == rule) {
       ++counters_.plan_cache_hits;
-      return *plan;
+      return *entry.plan;
     }
   }
-  bucket.push_back(std::make_unique<RulePlan>(CompileRule(rule)));
+  // First acquisition by this evaluator; the shared cache compiles only
+  // if no α-equivalent plan is live anywhere in the process.
+  // plans_compiled keeps its per-evaluator meaning (distinct rules this
+  // evaluator resolved to plans) — the process-wide compile count is
+  // SharedPlanCache::stats().
+  bucket.push_back(LocalPlanEntry{rule, SharedPlanCache::Instance().Acquire(rule)});
   ++counters_.plans_compiled;
-  return *bucket.back();
+  return *bucket.back().plan;
 }
 
 bool RuleEvaluator::ExistsDerivation(const Rule& rule, const Fact& target) {
@@ -106,9 +112,11 @@ bool RuleEvaluator::ExistsDerivation(const Rule& rule, const Fact& target) {
 void RuleEvaluator::EvictPlan(const Rule& rule) {
   auto it = plans_.find(rule.Hash());
   if (it == plans_.end()) return;
-  std::vector<std::unique_ptr<RulePlan>>& bucket = it->second;
+  std::vector<LocalPlanEntry>& bucket = it->second;
   for (auto p = bucket.begin(); p != bucket.end(); ++p) {
-    if ((*p)->rule == rule) {
+    if (p->rule == rule) {
+      // Drops this evaluator's strong reference; the shared entry
+      // expires when the last evaluator holding the plan evicts it.
       bucket.erase(p);
       break;
     }

@@ -111,6 +111,11 @@ struct EvalCounters {
   // assert engagement through this (a parallel engine whose rounds all
   // fell back to serial would pass fingerprint checks vacuously).
   uint64_t parallel_rounds = 0;
+  // Of those, rounds where some active rules were round-ineligible
+  // (delegation-capable, non-rotatable body) and ran serially after the
+  // replay barrier while the eligible rules ran Δ-partitioned — the
+  // per-rule fallback. Zero means every parallel round was all-eligible.
+  uint64_t parallel_mixed_rounds = 0;
 
   /// Accumulates `o` into this. The parallel round coordinator merges
   /// each worker evaluator's counters into the main evaluator's at the
@@ -134,6 +139,7 @@ struct EvalCounters {
     tuples_rederived += o.tuples_rederived;
     rederive_checks += o.rederive_checks;
     parallel_rounds += o.parallel_rounds;
+    parallel_mixed_rounds += o.parallel_mixed_rounds;
   }
 };
 
@@ -253,10 +259,18 @@ class RuleEvaluator {
   bool exists_mode_ = false;
   bool exists_found_ = false;
 
-  // Plan cache, keyed by rule content hash; the per-hash vector guards
-  // against hash collisions (entries verify full rule equality).
-  std::unordered_map<uint64_t, std::vector<std::unique_ptr<RulePlan>>>
-      plans_;
+  // Local plan cache: one strong reference per rule this evaluator has
+  // installed, keyed by exact rule content hash (the per-hash vector
+  // guards against collisions; entries verify full rule equality
+  // against the *lookup* rule, which may be an α-variant of the shared
+  // plan's owned rule). Plan storage itself lives in the process-global
+  // SharedPlanCache (plan_cache.h), so N evaluators installing the same
+  // rule compile it once and share one immutable plan.
+  struct LocalPlanEntry {
+    Rule rule;  // the rule as this evaluator installed it
+    std::shared_ptr<const RulePlan> plan;
+  };
+  std::unordered_map<uint64_t, std::vector<LocalPlanEntry>> plans_;
 
   // Reusable execution scratch (capacity persists across Evaluate
   // calls; steady state performs no heap allocation).

@@ -31,9 +31,19 @@ const LinkConfig& SimulatedNetwork::LinkFor(const std::string& from,
   return it == links_.end() ? default_link_ : it->second;
 }
 
+void SimulatedNetwork::SetIsolated(const std::string& peer, bool isolated) {
+  if (isolated) {
+    isolated_.insert(peer);
+  } else {
+    isolated_.erase(peer);
+  }
+}
+
 Status SimulatedNetwork::Submit(Envelope envelope, double now) {
   ++stats_.messages_submitted;
-  if (partitions_.count({envelope.from, envelope.to})) {
+  if (partitions_.count({envelope.from, envelope.to}) ||
+      (!isolated_.empty() && (isolated_.count(envelope.from) ||
+                              isolated_.count(envelope.to)))) {
     ++stats_.messages_partitioned;
     return Status::OK();  // silently lost, like a real partition
   }
@@ -43,7 +53,7 @@ Status SimulatedNetwork::Submit(Envelope envelope, double now) {
     return Status::OK();
   }
   std::string bytes = EncodeEnvelope(envelope);
-  ++edge_messages_[{envelope.from, envelope.to}];
+  if (track_edge_counts_) ++edge_messages_[{envelope.from, envelope.to}];
 
   int copies = 1;
   if (link.duplicate_probability > 0.0 &&

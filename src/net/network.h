@@ -80,14 +80,30 @@ class SimulatedNetwork : public Network {
   explicit SimulatedNetwork(uint64_t seed = 42,
                             LinkConfig default_link = LinkConfig{});
 
-  /// Overrides the link from `from` to `to` (directed).
+  /// Overrides the link from `from` to `to` (directed). Per-link state
+  /// exists only for links configured here — a default-config link
+  /// costs nothing until (or unless) traffic crosses it, so an N-peer
+  /// system carries O(configured links), never O(N²). To shape *every*
+  /// link, use SetDefaultLink instead of an all-pairs SetLink loop.
   void SetLink(const std::string& from, const std::string& to,
                LinkConfig config);
+
+  /// Replaces the config that links without a SetLink override use —
+  /// O(1) however many peers exist. Affects frames submitted from now
+  /// on; in-flight frames keep the latency they were assigned.
+  void SetDefaultLink(LinkConfig config) { default_link_ = config; }
 
   /// Severs (or heals) both directions between `a` and `b`. Messages
   /// submitted while partitioned are lost, as over a real WAN cut.
   void SetPartitioned(const std::string& a, const std::string& b,
                       bool partitioned);
+
+  /// Severs (or heals) `peer` from *everyone* in O(1) — the building
+  /// block for regional partitions at scale: cutting a 5k-peer region
+  /// off a 100k-peer world is 5k isolations, not 5k×95k pair entries.
+  /// Messages to or from an isolated peer are lost (counted as
+  /// partitioned), exactly as with SetPartitioned.
+  void SetIsolated(const std::string& peer, bool isolated);
 
   Status Submit(Envelope envelope, double now) override;
   std::vector<Envelope> DeliverDue(double now) override;
@@ -102,6 +118,12 @@ class SimulatedNetwork : public Network {
   edge_message_counts() const {
     return edge_messages_;
   }
+
+  /// Per-edge counting grows one map entry per active directed edge —
+  /// fine for topology experiments, unwanted bookkeeping for 100k-peer
+  /// scale runs. Disabled, Submit keeps aggregate stats only. Default
+  /// on (the seed behavior).
+  void set_track_edge_counts(bool track) { track_edge_counts_ = track; }
 
  private:
   struct InFlight {
@@ -122,6 +144,8 @@ class SimulatedNetwork : public Network {
   LinkConfig default_link_;
   std::map<std::pair<std::string, std::string>, LinkConfig> links_;
   std::set<std::pair<std::string, std::string>> partitions_;
+  std::set<std::string> isolated_;
+  bool track_edge_counts_ = true;
   std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
       in_flight_;
   uint64_t next_seq_ = 0;

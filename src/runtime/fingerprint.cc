@@ -7,6 +7,14 @@ namespace wdl {
 
 std::string PeerStateFingerprint(const Peer& peer) {
   std::string fp = "== " + peer.name() + "\n";
+  if (!peer.has_engine()) {
+    // A never-materialized peer logically holds the empty state; render
+    // it directly instead of touching peer.engine(), which would
+    // allocate 100k engines just to fingerprint an idle 100k-peer
+    // system. Byte-identical to the eager rendering of an empty engine.
+    fp += "rules of peer " + peer.name() + ":\n  (no rules)\n";
+    return fp;
+  }
   for (const std::string& rel : peer.engine().catalog().RelationNames()) {
     fp += peer.RenderRelation(rel);
   }

@@ -6,42 +6,66 @@
 namespace wdl {
 
 Peer::Peer(std::string name, PeerOptions options)
-    : name_(std::move(name)),
-      options_(options),
-      engine_(name_, options.engine) {}
+    : name_(std::move(name)), options_(std::move(options)) {
+  if (!options_.lazy_engine) EnsureEngine();
+}
+
+Engine& Peer::EnsureEngine() const {
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<Engine>(name_, options_.engine);
+  }
+  return *engine_;
+}
+
+size_t Peer::ApproxIdleBytes() const {
+  auto string_heap = [](const std::string& s) {
+    // Strings short enough for the small-string buffer cost no heap.
+    return s.capacity() > sizeof(std::string) ? s.capacity() + 1 : 0;
+  };
+  size_t bytes = sizeof(Peer) + string_heap(name_);
+  for (const std::string& p : known_peers_) {
+    // One red-black tree node: three pointers + color word + the key.
+    bytes += 4 * sizeof(void*) + sizeof(std::string) + string_heap(p);
+  }
+  return bytes;
+}
 
 Status Peer::LoadProgramText(std::string_view source) {
   WDL_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
-  return engine_.LoadProgram(program);
+  return EnsureEngine().LoadProgram(program);
 }
 
 Status Peer::LoadProgram(const Program& program) {
-  return engine_.LoadProgram(program);
+  return EnsureEngine().LoadProgram(program);
 }
 
 Result<uint64_t> Peer::AddRuleText(std::string_view rule_text) {
   WDL_ASSIGN_OR_RETURN(Rule rule, ParseRule(rule_text));
-  return engine_.AddRule(rule);
+  return EnsureEngine().AddRule(rule);
 }
 
 void Peer::HandleEnvelope(const Envelope& envelope) {
   known_peers_.insert(envelope.from);
   const Message& m = envelope.message;
+  // Inbound frames that carry engine work materialize a lazy engine
+  // ("first inbound frame"); pure control-plane traffic (Hello, a
+  // retraction of something never installed) must not — a peer that
+  // only ever hears greetings stays idle-cheap.
   switch (m.type) {
     case MessageType::kFactInserts:
-      engine_.EnqueueFactInserts(m.facts);
+      EnsureEngine().EnqueueFactInserts(m.facts);
       break;
     case MessageType::kFactDeletes:
-      engine_.EnqueueFactDeletes(m.facts);
+      EnsureEngine().EnqueueFactDeletes(m.facts);
       break;
     case MessageType::kDerivedSet:
-      engine_.EnqueueDerivedSet(envelope.from, m.derived);
+      EnsureEngine().EnqueueDerivedSet(envelope.from, m.derived);
       break;
     case MessageType::kDerivedDelta:
-      engine_.EnqueueDerivedDelta(envelope.from, m.delta);
+      EnsureEngine().EnqueueDerivedDelta(envelope.from, m.delta);
       break;
     case MessageType::kResyncRequest:
-      engine_.EnqueueResyncRequest(envelope.from, m.text);
+      EnsureEngine().EnqueueResyncRequest(envelope.from, m.text);
       break;
     case MessageType::kDelegationInstall: {
       DelegationGate::Decision decision =
@@ -49,7 +73,7 @@ void Peer::HandleEnvelope(const Envelope& envelope) {
               ? DelegationGate::Decision::kAccepted
               : gate_.OnArrival(m.delegation);
       if (decision == DelegationGate::Decision::kAccepted) {
-        Status st = engine_.InstallDelegatedRule(m.delegation);
+        Status st = EnsureEngine().InstallDelegatedRule(m.delegation);
         if (!st.ok()) {
           WDL_LOG(Warning) << name_ << ": rejected delegation from "
                            << m.delegation.origin_peer << ": " << st;
@@ -58,8 +82,8 @@ void Peer::HandleEnvelope(const Envelope& envelope) {
       break;
     }
     case MessageType::kDelegationRetract:
-      if (!gate_.OnRetraction(m.delegation_key)) {
-        engine_.RetractDelegatedRule(m.delegation_key);
+      if (!gate_.OnRetraction(m.delegation_key) && engine_ != nullptr) {
+        engine_->RetractDelegatedRule(m.delegation_key);
       }
       break;
     case MessageType::kHello:
@@ -69,7 +93,8 @@ void Peer::HandleEnvelope(const Envelope& envelope) {
 }
 
 std::vector<Envelope> Peer::RunStage() {
-  StageResult result = engine_.RunStage();
+  if (engine_ == nullptr) return {};
+  StageResult result = engine_->RunStage();
   std::vector<Envelope> out;
   for (auto& [target, outbound] : result.outbound) {
     auto make_envelope = [&](Message message) {
@@ -103,8 +128,9 @@ std::vector<Envelope> Peer::RunStage() {
 }
 
 std::vector<Envelope> Peer::MakeHeartbeats() {
+  if (engine_ == nullptr) return {};
   std::vector<Envelope> out;
-  for (DerivedDelta& dd : engine_.CollectHeartbeats()) {
+  for (DerivedDelta& dd : engine_->CollectHeartbeats()) {
     Envelope e;
     e.from = name_;
     e.to = dd.target_peer;
@@ -117,7 +143,7 @@ std::vector<Envelope> Peer::MakeHeartbeats() {
 
 Status Peer::ApproveDelegation(uint64_t delegation_key) {
   WDL_ASSIGN_OR_RETURN(Delegation d, gate_.Approve(delegation_key));
-  return engine_.InstallDelegatedRule(d);
+  return EnsureEngine().InstallDelegatedRule(d);
 }
 
 Status Peer::RejectDelegation(uint64_t delegation_key) {
@@ -126,13 +152,16 @@ Status Peer::RejectDelegation(uint64_t delegation_key) {
 
 std::string Peer::RenderProgramView() const {
   std::string out = "=== " + name_ + " ===\n";
-  out += engine_.ProgramListing();
+  // Rendering is inspection; an idle peer renders as empty without
+  // being materialized by the act of looking at it.
+  if (engine_ != nullptr) out += engine_->ProgramListing();
   out += gate_.RenderPending();
   return out;
 }
 
 std::string Peer::RenderRelation(const std::string& relation) const {
-  const Relation* rel = engine_.catalog().Get(relation);
+  const Relation* rel =
+      engine_ == nullptr ? nullptr : engine_->catalog().Get(relation);
   std::string out = relation + "@" + name_;
   if (rel == nullptr) {
     return out + ": (not declared)\n";

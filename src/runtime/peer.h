@@ -19,6 +19,15 @@ struct PeerOptions {
   /// install without approval (the behavior of peers that opted out of
   /// delegation control; the default mirrors the paper: untrusted).
   bool trust_all_delegations = false;
+  /// When true, the Engine (catalog, evaluator, slice store, trackers)
+  /// is not built until the peer first needs it: first fact, first
+  /// rule, or first inbound frame that carries engine work. An idle
+  /// peer is then a name plus a few empty containers — the property
+  /// that lets one process host 100k+ simulated peers (DESIGN.md §9).
+  /// False (the default for standalone peers; System sets it from
+  /// SystemOptions::lazy_peer_state) allocates eagerly at construction
+  /// — the oracle path, byte-identical to the pre-lazy runtime.
+  bool lazy_engine = false;
 };
 
 /// One WebdamLog peer: an engine plus the delegation gate and the glue
@@ -41,8 +50,14 @@ class Peer {
   Peer& operator=(const Peer&) = delete;
 
   const std::string& name() const { return name_; }
-  Engine& engine() { return engine_; }
-  const Engine& engine() const { return engine_; }
+  /// The peer's engine, materializing it on first touch in lazy mode
+  /// (const access too — callers that merely *inspect* an idle peer
+  /// without forcing allocation should check has_engine() first).
+  Engine& engine() { return EnsureEngine(); }
+  const Engine& engine() const { return EnsureEngine(); }
+  /// True when the engine has been materialized (always, in eager
+  /// mode). An engine-less peer holds no facts, no rules, no streams.
+  bool has_engine() const { return engine_ != nullptr; }
   DelegationGate& gate() { return gate_; }
   const DelegationGate& gate() const { return gate_; }
 
@@ -51,8 +66,12 @@ class Peer {
   Status LoadProgram(const Program& program);
 
   /// Convenience passthroughs for the user API.
-  Result<bool> Insert(const Fact& fact) { return engine_.InsertFact(fact); }
-  Result<bool> Remove(const Fact& fact) { return engine_.RemoveFact(fact); }
+  Result<bool> Insert(const Fact& fact) {
+    return EnsureEngine().InsertFact(fact);
+  }
+  Result<bool> Remove(const Fact& fact) {
+    return EnsureEngine().RemoveFact(fact);
+  }
   Result<uint64_t> AddRuleText(std::string_view rule_text);
 
   /// Routes one arriving envelope into the engine / delegation gate.
@@ -68,15 +87,33 @@ class Peer {
   /// interval instead of waiting for the next organic change.
   std::vector<Envelope> MakeHeartbeats();
 
-  bool HasPendingWork() const { return engine_.HasPendingWork(); }
+  bool HasPendingWork() const {
+    return engine_ != nullptr && engine_->HasPendingWork();
+  }
+
+  /// A transport-level link to `remote` was lost/re-established; streams
+  /// re-establish through the resync machinery. No-op for an engine-less
+  /// peer (it has no streams), without materializing it.
+  void NoteLinkReset(const std::string& remote) {
+    if (engine_ != nullptr) engine_->NoteLinkReset(remote);
+  }
+
+  /// Approximate resident bytes of this peer's fixed bookkeeping: the
+  /// Peer object plus its heap-allocated name/known-peer strings. For a
+  /// materialized peer this *excludes* engine state (catalog tuples,
+  /// plans, streams scale with data, not peer count); the idle-peer
+  /// memory model (DESIGN.md §9) and its regression ceiling are about
+  /// the per-peer fixed cost.
+  size_t ApproxIdleBytes() const;
 
   /// Approves a pending delegation: installs the rule ("the program of
   /// Jules is changed once the approval is granted", §4).
   Status ApproveDelegation(uint64_t delegation_key);
   Status RejectDelegation(uint64_t delegation_key);
 
-  /// Peers this peer has heard of (populated by the System registry
-  /// and by Hello messages).
+  /// Peers this peer has heard of (populated from traffic — envelope
+  /// senders and Hello announcements — or explicitly by a host that
+  /// wires up a static topology, e.g. wdl_peerd).
   const std::set<std::string>& known_peers() const { return known_peers_; }
   void AddKnownPeer(const std::string& peer) { known_peers_.insert(peer); }
 
@@ -89,9 +126,17 @@ class Peer {
   std::string RenderRelation(const std::string& relation) const;
 
  private:
+  /// Materializes the engine (lazy mode) or returns the existing one.
+  /// Const because materialization is a caching concern, not a logical
+  /// state change: a fresh engine holds exactly the state an idle peer
+  /// logically has (nothing).
+  Engine& EnsureEngine() const;
+
   std::string name_;
   PeerOptions options_;
-  Engine engine_;
+  // The only heavyweight member, lazily allocated when lazy_engine is
+  // set; everything else an idle peer carries is a few empty containers.
+  mutable std::unique_ptr<Engine> engine_;
   DelegationGate gate_;
   std::set<std::string> known_peers_;
   uint64_t next_seq_ = 0;

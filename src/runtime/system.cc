@@ -40,19 +40,33 @@ const SimulatedNetwork& System::network() const {
 }
 
 Peer* System::CreatePeer(const std::string& name, PeerOptions options) {
+  options.lazy_engine = options_.lazy_peer_state;
   auto [it, inserted] =
       peers_.emplace(name, std::make_unique<Peer>(name, options));
   if (!inserted) {
     WDL_LOG(Warning) << "peer " << name << " already exists";
     return it->second.get();
   }
-  Peer* created = it->second.get();
-  for (auto& [other_name, other] : peers_) {
-    if (other_name == name) continue;
-    other->AddKnownPeer(name);
-    created->AddKnownPeer(other_name);
+  return it->second.get();
+}
+
+size_t System::MaterializedPeerCount() const {
+  size_t n = 0;
+  for (const auto& [name, peer] : peers_) {
+    if (peer->has_engine()) ++n;
   }
-  return created;
+  return n;
+}
+
+size_t System::ApproxPeerBytes(const std::string& name) const {
+  const Peer* peer = GetPeer(name);
+  if (peer == nullptr) return 0;
+  // Registry cost: one map node (rb-tree: three pointers + color) with
+  // its key string and unique_ptr, plus the Peer's own bookkeeping.
+  size_t bytes = 4 * sizeof(void*) + sizeof(std::string) +
+                 sizeof(std::unique_ptr<Peer>);
+  if (name.capacity() > sizeof(std::string)) bytes += name.capacity() + 1;
+  return bytes + peer->ApproxIdleBytes();
 }
 
 Peer* System::GetPeer(const std::string& name) {
@@ -103,9 +117,11 @@ RoundReport System::RunRound() {
   // Link resets (an asynchronous transport lost and/or re-established
   // a connection): every local peer re-establishes its streams with
   // the affected remote through the resync machinery.
+  // (Engine-less peers have no streams to heal — NoteLinkReset no-ops
+  // on them without materializing anything.)
   for (const std::string& reset : network_->TakePeerResets()) {
     for (auto& [name, peer] : peers_) {
-      if (name != reset) peer->engine().NoteLinkReset(reset);
+      if (name != reset) peer->NoteLinkReset(reset);
     }
   }
 

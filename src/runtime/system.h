@@ -40,6 +40,14 @@ struct SystemOptions {
   /// worker_threads == 1. 1 (the default unless WDL_WORKER_THREADS
   /// overrides it) preserves today's exact code path as the oracle.
   int worker_threads = DefaultWorkerThreads();
+  /// When true (production), peers are created as lightweight slots —
+  /// the per-peer Engine materializes on first fact, first rule, or
+  /// first inbound frame that carries engine work — so an idle peer
+  /// costs ~O(100) bytes and one process hosts 100k–1M simulated peers
+  /// (DESIGN.md §9). False allocates every peer's engine eagerly at
+  /// CreatePeer — the pre-lazy runtime, kept as the fingerprint oracle
+  /// (the use_compiled_plans / use_incremental_maintenance pattern).
+  bool lazy_peer_state = true;
 };
 
 /// Counters for one RunRound call.
@@ -88,12 +96,28 @@ class System {
   System(const System&) = delete;
   System& operator=(const System&) = delete;
 
-  /// Creates and registers a peer. Every peer learns of every other
-  /// through the registry (discovery control plane).
+  /// Creates and registers a peer. The registry itself is the discovery
+  /// control plane (PeerNames()); peers learn of each other from
+  /// traffic (envelope senders, Hello messages) — deliberately *not* by
+  /// an all-pairs known-peer exchange here, which would cost O(peers²)
+  /// work and memory at registration and cap the system at toy sizes.
   Peer* CreatePeer(const std::string& name, PeerOptions options = {});
   Peer* GetPeer(const std::string& name);
   const Peer* GetPeer(const std::string& name) const;
   std::vector<std::string> PeerNames() const;
+  size_t PeerCount() const { return peers_.size(); }
+
+  /// Peers whose engine has been materialized (== PeerCount() when
+  /// lazy_peer_state is off). The instrument behind "an idle peer costs
+  /// ~nothing": a 100k-peer system with 200 active users holds 200
+  /// engines.
+  size_t MaterializedPeerCount() const;
+
+  /// Approximate resident bytes of per-peer fixed bookkeeping for
+  /// `name` (registry map node + Peer::ApproxIdleBytes; engine state
+  /// excluded — it scales with data, not peer count). 0 for unknown
+  /// peers. The idle-peer regression ceiling is asserted against this.
+  size_t ApproxPeerBytes(const std::string& name) const;
 
   /// The simulated network, for tests and benches that configure links
   /// and read deterministic stats. Only valid when the system was built

@@ -1,0 +1,209 @@
+#include "workload/social_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "base/rng.h"
+#include "base/string_util.h"
+#include "runtime/system.h"
+
+namespace wdl {
+namespace {
+
+/// Inverse-CDF sampler over ranks 0..n-1 with weight 1/(rank+1)^s.
+/// O(n) doubles to build, O(log n) per sample.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double s) {
+    cdf_.reserve(n);
+    double total = 0.0;
+    for (uint32_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r) + 1.0, s);
+      cdf_.push_back(total);
+    }
+  }
+
+  uint32_t Sample(Rng& rng) const {
+    double x = rng.NextDouble() * cdf_.back();
+    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), x);
+    if (it == cdf_.end()) --it;
+    return static_cast<uint32_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace
+
+std::string SocialPeerName(uint32_t id) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "u%08u", id);
+  return buf;
+}
+
+SocialGraph GenerateSocialGraph(const SocialGraphOptions& options) {
+  SocialGraph graph;
+  graph.num_peers = options.num_peers;
+  graph.followers.resize(options.num_peers);
+  if (options.num_peers < 2) return graph;
+
+  Rng rng(options.seed);
+  ZipfSampler zipf(options.num_peers, options.zipf_exponent);
+  const uint64_t target_edges =
+      static_cast<uint64_t>(options.num_peers) * options.mean_followers;
+  for (uint64_t e = 0; e < target_edges; ++e) {
+    uint32_t followee = zipf.Sample(rng);
+    uint32_t follower = static_cast<uint32_t>(rng.NextBelow(options.num_peers));
+    if (follower == followee) continue;
+    graph.followers[followee].push_back(follower);
+  }
+  for (std::vector<uint32_t>& fs : graph.followers) {
+    std::sort(fs.begin(), fs.end());
+    fs.erase(std::unique(fs.begin(), fs.end()), fs.end());
+    graph.edge_count += fs.size();
+  }
+  return graph;
+}
+
+std::string SocialProgramText(const std::string& peer) {
+  const char* n = peer.c_str();
+  std::string out;
+  out += StrFormat("collection ext follows@%s(who: string);\n", n);
+  out += StrFormat("collection ext post@%s(id: int);\n", n);
+  out += StrFormat("collection int feed@%s(id: int, author: string);\n", n);
+  // Following someone delegates the residual "feed@me($id, <them>) :-
+  // post@<them>($id)" to them; their posts then stream back as feed
+  // deltas. Exactly the paper's selection-rule shape (§3), at social
+  // fan-in instead of a photo album.
+  out += StrFormat(
+      "rule feed@%s($id, $who) :- follows@%s($who), post@$who($id);\n", n, n);
+  return out;
+}
+
+PeerOptions SocialPeerOptions() {
+  PeerOptions options;
+  options.trust_all_delegations = true;
+  return options;
+}
+
+std::vector<SocialOp> MakeChurnScript(uint32_t num_peers,
+                                      uint32_t num_actors, size_t num_ops,
+                                      double zipf_exponent, uint64_t seed) {
+  std::vector<SocialOp> ops;
+  ops.reserve(num_ops);
+  if (num_peers < 2 || num_actors == 0) return ops;
+  num_actors = std::min(num_actors, num_peers);
+
+  Rng rng(seed);
+  ZipfSampler zipf(num_peers, zipf_exponent);
+  // Live edges per actor, so unfollows always retract a real follow.
+  std::vector<std::vector<uint32_t>> following(num_actors);
+  int64_t next_post_id = 1;
+
+  for (size_t i = 0; i < num_ops; ++i) {
+    uint32_t actor = static_cast<uint32_t>(rng.NextBelow(num_actors));
+    uint64_t roll = rng.NextBelow(4);
+    SocialOp op;
+    if (roll == 2 && !following[actor].empty()) {
+      // Unfollow a random live edge.
+      std::vector<uint32_t>& fs = following[actor];
+      size_t pick = rng.NextBelow(fs.size());
+      op.kind = SocialOp::Kind::kUnfollow;
+      op.actor = actor;
+      op.target = fs[pick];
+      fs[pick] = fs.back();
+      fs.pop_back();
+    } else if (roll == 3) {
+      // Post as a popularity-weighted author: hub posts fan out wide.
+      op.kind = SocialOp::Kind::kPost;
+      op.actor = zipf.Sample(rng);
+      op.post_id = next_post_id++;
+    } else {
+      // Follow a popularity-weighted target (bounded retries keep the
+      // script deterministic; a failed draw degrades into a post).
+      std::vector<uint32_t>& fs = following[actor];
+      uint32_t target = actor;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        uint32_t t = zipf.Sample(rng);
+        if (t != actor &&
+            std::find(fs.begin(), fs.end(), t) == fs.end()) {
+          target = t;
+          break;
+        }
+      }
+      if (target == actor) {
+        op.kind = SocialOp::Kind::kPost;
+        op.actor = actor;
+        op.post_id = next_post_id++;
+      } else {
+        op.kind = SocialOp::Kind::kFollow;
+        op.actor = actor;
+        op.target = target;
+        fs.push_back(target);
+      }
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+Status SocialDriver::EnsurePeer(uint32_t id) {
+  if (id >= programmed_.size()) programmed_.resize(id + 1, false);
+  if (programmed_[id]) return Status::OK();
+  std::string name = SocialPeerName(id);
+  Peer* peer = system_->GetPeer(name);
+  if (peer == nullptr) peer = system_->CreatePeer(name, SocialPeerOptions());
+  WDL_RETURN_IF_ERROR(peer->LoadProgramText(SocialProgramText(name)));
+  programmed_[id] = true;
+  return Status::OK();
+}
+
+Status SocialDriver::SeedFollows(const SocialGraph& graph) {
+  for (uint32_t v = 0; v < graph.num_peers; ++v) {
+    for (uint32_t f : graph.followers[v]) {
+      WDL_RETURN_IF_ERROR(Follow(f, v));
+    }
+  }
+  return Status::OK();
+}
+
+Status SocialDriver::Follow(uint32_t follower, uint32_t followee) {
+  WDL_RETURN_IF_ERROR(EnsurePeer(follower));
+  WDL_RETURN_IF_ERROR(EnsurePeer(followee));
+  std::string name = SocialPeerName(follower);
+  Result<bool> r = system_->GetPeer(name)->Insert(
+      Fact("follows", name, {Value::String(SocialPeerName(followee))}));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status SocialDriver::Unfollow(uint32_t follower, uint32_t followee) {
+  WDL_RETURN_IF_ERROR(EnsurePeer(follower));
+  std::string name = SocialPeerName(follower);
+  Result<bool> r = system_->GetPeer(name)->Remove(
+      Fact("follows", name, {Value::String(SocialPeerName(followee))}));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status SocialDriver::Post(uint32_t author, int64_t post_id) {
+  WDL_RETURN_IF_ERROR(EnsurePeer(author));
+  std::string name = SocialPeerName(author);
+  Result<bool> r = system_->GetPeer(name)->Insert(
+      Fact("post", name, {Value::Int(post_id)}));
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status SocialDriver::Apply(const SocialOp& op) {
+  switch (op.kind) {
+    case SocialOp::Kind::kFollow:
+      return Follow(op.actor, op.target);
+    case SocialOp::Kind::kUnfollow:
+      return Unfollow(op.actor, op.target);
+    case SocialOp::Kind::kPost:
+      return Post(op.actor, op.post_id);
+  }
+  return Status::InvalidArgument("unknown social op");
+}
+
+}  // namespace wdl

@@ -135,6 +135,48 @@ TEST(NetworkTest, DuplicatedFramesAreAccountedSeparately) {
   EXPECT_EQ(s.bytes_duplicated, s.bytes_sent);
 }
 
+TEST(NetworkTest, DefaultLinkShapesUnconfiguredEdges) {
+  SimulatedNetwork net(1);
+  // Reshaping the default is O(1) and reaches every edge that has no
+  // SetLink override — the scale path (no all-pairs loop).
+  net.SetDefaultLink(LinkConfig{.latency = 3.0});
+  net.SetLink("a", "c", LinkConfig{.latency = 0.5});
+  ASSERT_TRUE(net.Submit(Env("a", "b", "slow"), 0.0).ok());
+  ASSERT_TRUE(net.Submit(Env("a", "c", "fast"), 0.0).ok());
+  std::vector<Envelope> early = net.DeliverDue(0.5);
+  ASSERT_EQ(early.size(), 1u);  // the override still wins
+  EXPECT_EQ(early[0].message.text, "fast");
+  EXPECT_TRUE(net.DeliverDue(2.9).empty());
+  EXPECT_EQ(net.DeliverDue(3.0).size(), 1u);
+}
+
+TEST(NetworkTest, IsolationCutsBothDirectionsAndHeals) {
+  SimulatedNetwork net(1);
+  net.SetIsolated("b", true);
+  ASSERT_TRUE(net.Submit(Env("a", "b", "in"), 0.0).ok());
+  ASSERT_TRUE(net.Submit(Env("b", "c", "out"), 0.0).ok());
+  EXPECT_EQ(net.stats().messages_partitioned, 2u);
+  EXPECT_TRUE(net.DeliverDue(100.0).empty());
+  // Unrelated traffic is untouched.
+  ASSERT_TRUE(net.Submit(Env("a", "c", "aside"), 0.0).ok());
+  EXPECT_EQ(net.DeliverDue(100.0).size(), 1u);
+  net.SetIsolated("b", false);
+  ASSERT_TRUE(net.Submit(Env("a", "b", "healed"), 100.0).ok());
+  EXPECT_EQ(net.DeliverDue(200.0).size(), 1u);
+}
+
+TEST(NetworkTest, EdgeCountTrackingCanBeDisabled) {
+  SimulatedNetwork net(1);
+  net.set_track_edge_counts(false);
+  ASSERT_TRUE(net.Submit(Env("a", "b", "m1"), 0.0).ok());
+  // Aggregate stats still flow; only the per-edge map is suppressed.
+  EXPECT_TRUE(net.edge_message_counts().empty());
+  EXPECT_EQ(net.stats().messages_submitted, 1u);
+  net.set_track_edge_counts(true);
+  ASSERT_TRUE(net.Submit(Env("a", "b", "m2"), 0.0).ok());
+  EXPECT_EQ(net.edge_message_counts().size(), 1u);
+}
+
 TEST(NetworkTest, JitterReordersMessages) {
   // With heavy jitter, submission order and delivery order diverge for
   // some seed (deterministically, given the seed).

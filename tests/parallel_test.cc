@@ -136,6 +136,55 @@ TEST(ParallelEngineTest, SameGenFingerprintIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ParallelEngineTest, MixedRuleSetsRunEligibleRulesParallel) {
+  // A rule set mixing round-eligible rules (the TC pair) with a
+  // delegation-capable one (variable body peer — must stay serial)
+  // used to fall back to the serial loop for the *whole stage*. Now
+  // only the ineligible rule runs serially, against the same frozen Δ
+  // the partitioned rules consumed; parallel_mixed_rounds counts the
+  // rounds that took the combined path.
+  constexpr const char* kMixedProgram =
+      "collection ext edge@p(x: int, y: int);"
+      "collection int tc@p(x: int, y: int);"
+      "collection ext follows@p(w: string);"
+      "collection ext post@p(id: int);"
+      "collection int feed@p(id: int, author: string);"
+      "rule tc@p($x, $y) :- edge@p($x, $y);"
+      "rule tc@p($x, $z) :- tc@p($x, $y), edge@p($y, $z);"
+      "rule feed@p($id, $w) :- follows@p($w), post@$w($id);";
+  auto run = [&](int threads) {
+    PeerOptions opts;
+    opts.engine.eval_threads = threads;
+    Peer peer("p", opts);
+    EXPECT_TRUE(peer.LoadProgramText(kMixedProgram).ok());
+    for (int i = 0; i < 48; ++i) {
+      EXPECT_TRUE(peer.Insert(F("edge", "p", {I(i), I(i + 1)})).ok());
+    }
+    // Self-follow keeps the delegating rule entirely local, so the
+    // whole mixed stage settles in one RunStage.
+    EXPECT_TRUE(peer.Insert(F("follows", "p", {S("p")})).ok());
+    EXPECT_TRUE(peer.Insert(F("post", "p", {I(3)})).ok());
+    (void)peer.RunStage();
+    const EvalCounters& counters = peer.engine().eval_counters();
+    if (threads == 1) {
+      EXPECT_EQ(counters.parallel_rounds, 0u);
+      EXPECT_EQ(counters.parallel_mixed_rounds, 0u);
+    } else {
+      EXPECT_GT(counters.parallel_rounds, 0u) << "threads=" << threads;
+      EXPECT_GT(counters.parallel_mixed_rounds, 0u)
+          << "threads=" << threads
+          << ": ineligible rule forced the whole stage serial";
+    }
+    EXPECT_TRUE(peer.engine().catalog().Get("feed")->Contains(
+        {I(3), S("p")}));
+    return PeerStateFingerprint(peer);
+  };
+  const std::string want = run(1);
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(run(threads), want) << "threads=" << threads;
+  }
+}
+
 TEST(ParallelEngineTest, IncrementalDeletionChurnMatchesSerialOracle) {
   // Δ-driven incremental stages (insertions *and* DRed retraction) must
   // agree with the oracle after every settle, not just at the end.

@@ -4,6 +4,7 @@
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--suite SUITE]
                    [--fail-below R] [--counters PREFIX[,PREFIX...]]
+                   [--memory] [--speedup]
 
 Prints a per-benchmark throughput table: baseline and current wall time
 per iteration, and the throughput ratio current-vs-baseline (>1 means
@@ -96,6 +97,43 @@ def print_counters(base_path, curr_path, prefixes, suite_filter):
         print(f"{label:<{name_w}} {b_s:>14} {c_s:>14} {ratio}")
 
 
+def load_memory(path):
+    """Suite-level peak RSS recorded by run_bench.cmake's rss_run
+    wrapper; absent in baselines taken before the wrapper existed."""
+    with open(path) as f:
+        doc = json.load(f)
+    return {suite: report.get("peak_rss_mb")
+            for suite, report in doc.get("suites", {}).items()}
+
+
+def print_memory(base_path, curr_path, suite_filter):
+    base = load_memory(base_path)
+    curr = load_memory(curr_path)
+    suites = sorted(set(base) | set(curr))
+    if suite_filter:
+        suites = [s for s in suites if s in set(suite_filter)]
+    rows = [(s, base.get(s), curr.get(s)) for s in suites
+            if base.get(s) is not None or curr.get(s) is not None]
+    print()
+    if not rows:
+        print("memory: no peak_rss_mb data in either file "
+              "(benches ran without the rss_run wrapper)")
+        return
+    name_w = max(len(r[0]) for r in rows) + 2
+    print("memory (peak RSS of each bench process, MB)")
+    print(f"{'suite':<{name_w}} {'baseline':>10} {'current':>10} "
+          f"{'ratio':>8}")
+    print("-" * (name_w + 32))
+    for suite, b, c in rows:
+        b_s = f"{b:,.1f}" if b is not None else "(absent)"
+        c_s = f"{c:,.1f}" if c is not None else "(absent)"
+        if b and c is not None and b > 0:
+            ratio = f"{c / b:>7.2f}x"
+        else:
+            ratio = f"{'-':>8}"
+        print(f"{suite:<{name_w}} {b_s:>10} {c_s:>10} {ratio}")
+
+
 def print_speedup(path, suite_filter):
     """Thread-scaling table within one baseline: benchmarks whose name
     ends in "/N" are grouped by the prefix, and each variant is shown
@@ -152,6 +190,9 @@ def main():
                         "full_,resyncs", default=None, metavar="PREFIXES",
                         help="also print custom counters whose names start "
                              "with one of these comma-separated prefixes")
+    parser.add_argument("--memory", action="store_true",
+                        help="also print the per-suite peak-RSS column "
+                             "recorded by the rss_run wrapper")
     parser.add_argument("--speedup", action="store_true",
                         help="also print a thread-scaling table from the "
                              "current file: benchmarks named NAME/N shown "
@@ -206,6 +247,8 @@ def main():
         print_counters(args.baseline, args.current,
                        [p for p in args.counters.split(",") if p],
                        args.suite)
+    if args.memory:
+        print_memory(args.baseline, args.current, args.suite)
     if args.speedup:
         print_speedup(args.current, args.suite)
     return 0

@@ -1,0 +1,111 @@
+// gen_social_graph: generates the power-law follower graph behind the
+// social-scale benchmarks (bench_topology) and prints it — either a
+// degree summary for eyeballing the skew, or the full edge list /
+// per-peer WebdamLog programs for driving external deployments
+// (wdl_peerd clusters) with the same workload the in-process benches
+// use. Deterministic for a given --seed.
+//
+// Examples:
+//   gen_social_graph --peers 100000 --mean-followers 8 --zipf 1.0
+//   gen_social_graph --peers 1000 --edges          # "follower followee" lines
+//   gen_social_graph --peers 1000 --program u00000000
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/social_graph.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: gen_social_graph [--peers N] [--mean-followers K]\n"
+               "                        [--zipf S] [--seed X]\n"
+               "                        [--edges | --program PEERNAME]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wdl::SocialGraphOptions options;
+  bool print_edges = false;
+  std::string program_peer;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--peers") {
+      options.num_peers = static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--mean-followers") {
+      options.mean_followers =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--zipf") {
+      options.zipf_exponent = std::strtod(next(), nullptr);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--edges") {
+      print_edges = true;
+    } else if (arg == "--program") {
+      program_peer = next();
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  if (!program_peer.empty()) {
+    std::fputs(wdl::SocialProgramText(program_peer).c_str(), stdout);
+    return 0;
+  }
+
+  wdl::SocialGraph graph = wdl::GenerateSocialGraph(options);
+
+  if (print_edges) {
+    for (uint32_t v = 0; v < graph.num_peers; ++v) {
+      for (uint32_t f : graph.followers[v]) {
+        std::printf("%s %s\n", wdl::SocialPeerName(f).c_str(),
+                    wdl::SocialPeerName(v).c_str());
+      }
+    }
+    return 0;
+  }
+
+  // Degree summary: the top hubs plus a log2 histogram of in-degree,
+  // which makes the Zipf tail visible at a glance.
+  std::printf("peers=%u edges=%zu mean_followers=%u zipf=%.2f seed=%" PRIu64
+              "\n",
+              graph.num_peers, graph.edge_count, options.mean_followers,
+              options.zipf_exponent, options.seed);
+  std::printf("top hubs (peer: followers):\n");
+  for (uint32_t v = 0; v < graph.num_peers && v < 8; ++v) {
+    std::printf("  %s: %u\n", wdl::SocialPeerName(v).c_str(),
+                graph.InDegree(v));
+  }
+  std::vector<uint64_t> histogram;
+  for (uint32_t v = 0; v < graph.num_peers; ++v) {
+    uint32_t d = graph.InDegree(v);
+    size_t bucket = 0;
+    while ((1u << bucket) <= d) ++bucket;  // bucket 0 = degree 0
+    if (bucket >= histogram.size()) histogram.resize(bucket + 1, 0);
+    ++histogram[bucket];
+  }
+  std::printf("in-degree histogram (bucket = [2^(k-1), 2^k)):\n");
+  for (size_t k = 0; k < histogram.size(); ++k) {
+    if (k == 0) {
+      std::printf("  degree 0: %" PRIu64 " peers\n", histogram[k]);
+    } else {
+      std::printf("  <%u: %" PRIu64 " peers\n", 1u << k, histogram[k]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// rss_run: runs a command and records its peak resident set size.
+//
+//   rss_run OUTFILE COMMAND [ARGS...]
+//
+// Forks, execs COMMAND, waits, then writes the child's peak RSS in
+// megabytes (getrusage RUSAGE_CHILDREN, one line, e.g. "42.50") to
+// OUTFILE and exits with the child's exit code. The bench harness
+// (bench/run_bench.cmake) wraps every bench binary with this so the
+// merged baseline JSON carries a measured peak-RSS column per suite —
+// memory regressions show up in bench_compare.py --memory next to the
+// throughput ratios.
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: rss_run OUTFILE COMMAND [ARGS...]\n");
+    return 2;
+  }
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("rss_run: fork");
+    return 2;
+  }
+  if (pid == 0) {
+    execvp(argv[2], &argv[2]);
+    std::perror("rss_run: execvp");
+    _exit(127);
+  }
+  int wait_status = 0;
+  if (waitpid(pid, &wait_status, 0) < 0) {
+    std::perror("rss_run: waitpid");
+    return 2;
+  }
+  struct rusage usage = {};
+  getrusage(RUSAGE_CHILDREN, &usage);
+  // ru_maxrss is kilobytes on Linux.
+  double peak_mb = static_cast<double>(usage.ru_maxrss) / 1024.0;
+  std::FILE* out = std::fopen(argv[1], "w");
+  if (out == nullptr) {
+    std::perror("rss_run: fopen");
+    return 2;
+  }
+  std::fprintf(out, "%.2f\n", peak_mb);
+  std::fclose(out);
+  if (WIFEXITED(wait_status)) return WEXITSTATUS(wait_status);
+  if (WIFSIGNALED(wait_status)) return 128 + WTERMSIG(wait_status);
+  return 2;
+}
