@@ -1,0 +1,146 @@
+#ifndef WDL_ENGINE_DEMAND_H_
+#define WDL_ENGINE_DEMAND_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ast/rule.h"
+#include "base/result.h"
+#include "base/symbol.h"
+#include "engine/eval.h"
+#include "engine/plan.h"
+#include "storage/tuple.h"
+
+namespace wdl {
+
+class Engine;
+
+/// Demand-driven (magic-set) evaluation of one bound query against a
+/// quiescent engine (DESIGN.md §10).
+///
+/// A bound query ("path@a(42, $y)") does not need the full fixpoint the
+/// scratch-rule query path runs: only the tuples *reachable from the
+/// query's constants* can contribute to an answer. This evaluator
+/// restricts evaluation to exactly that cone:
+///
+///  - the query rule runs once, joining extensional atoms directly and
+///    registering a *demand* — the atom's statically prebound argument
+///    positions (plan.h `prebound_args`) plus their runtime values —
+///    for every intensional atom it reaches;
+///  - each demand (relation, adornment) activates the demand-compiled
+///    plans of that relation's local writer rules
+///    (SharedPlanCache::AcquireDemand): the rule body prefixed with a
+///    synthetic demand atom matched against the registered demand
+///    tuples, so a rule instance only runs for bindings some demand
+///    asked for, and registers the sub-demands its own body needs;
+///  - derived tuples accumulate in per-relation *fragments* (the
+///    demand-reachable subset of each intensional relation), and a
+///    semi-naive Δ loop — uniform over fragments and demand sets, using
+///    the plans' Δ-first variants — runs the cone to fixpoint.
+///
+/// Soundness rests on quiescence: with no deltas in flight, a local
+/// intensional relation equals the least fixpoint of its local writer
+/// rules over extensional state plus received cross-peer contributions
+/// (the slice store), which is exactly what the fragment fixpoint
+/// computes, demand-restricted (the magic-set transformation theorem).
+/// Prepare() therefore rejects — and the caller falls back to the full
+/// fixpoint for — anything outside that model: unbound queries, bodies
+/// that cross peers, negation, deletion rules, or variable relation /
+/// peer positions anywhere in the reachable rule set.
+class DemandEvaluator {
+ public:
+  struct Stats {
+    uint64_t tuples_examined = 0;    // candidate tuples unified against
+    uint64_t demands_registered = 0; // distinct (relation, pattern, keys)
+    uint64_t activations = 0;        // demand-compiled rule instances
+    uint64_t fragment_tuples = 0;    // tuples materialized in fragments
+    uint64_t rounds = 0;             // Δ rounds to fixpoint
+  };
+
+  explicit DemandEvaluator(Engine* engine) : engine_(engine) {}
+
+  /// Analyzes `query_rule` (head = one variable per result column, body
+  /// = the parsed query atoms) against the engine's installed rules.
+  /// Returns OK when the query is demand-eligible; a FailedPrecondition
+  /// naming the first disqualifier otherwise — the caller then runs the
+  /// full-fixpoint path instead. Must be called on a quiescent engine.
+  Status Prepare(const Rule& query_rule);
+
+  /// Runs the demand-restricted fixpoint. Returns the distinct result
+  /// rows in ascending tuple order (the same order the scratch-relation
+  /// snapshot of the full path reports). Call once, after Prepare().
+  std::vector<Tuple> Run();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// One demand-reachable relation subset (or one demand set), with the
+  /// semi-naive bookkeeping: `all` for joins and dedup, `delta` for the
+  /// current round's Δ pass, `pending` feeding the next rotation.
+  struct Fragment {
+    DeltaSet all;
+    DeltaSet delta;
+    std::vector<Tuple> pending;
+  };
+
+  /// A demand set is keyed by (relation, adornment bitmask).
+  using MagicKey = std::pair<Symbol, uint64_t>;
+
+  /// One runnable rule instance: a writer rule demand-compiled for one
+  /// adornment (reading its demand set through the synthetic atom), or
+  /// the root query rule itself.
+  struct Activation {
+    std::shared_ptr<const RulePlan> shared_plan;  // owns writer plans
+    const RulePlan* plan = nullptr;
+    Symbol head_relation;  // fragment the head feeds (writers only)
+    MagicKey magic_key{};
+    bool is_root = false;
+  };
+
+  void EnsureActivations(const MagicKey& key);
+  void ExecActivation(size_t index, int delta_orig,
+                      const DeltaSet* delta_set);
+  void ExecStep(const Activation& act, const std::vector<PlanAtom>& atoms,
+                const std::vector<uint16_t>* order, size_t atom_index,
+                int delta_orig, const DeltaSet* delta_set);
+  bool UnifyTuple(const PlanAtom& atom, const Tuple& tuple);
+  void EmitHead(const Activation& act);
+  void RegisterDemand(Symbol relation, const PlanAtom& atom);
+
+  Engine* engine_;
+  Catalog* catalog_ = nullptr;
+  Symbol self_sym_;
+  Rule query_rule_;
+  RulePlan root_plan_;
+  Stats stats_;
+
+  /// Local writer rules per reachable intensional relation; pointers
+  /// into the engine's installed-rule storage (stable while we run).
+  std::unordered_map<Symbol, std::vector<const Rule*>, SymbolHasher>
+      writers_;
+  /// Fragments of every reachable intensional relation (fixed at
+  /// Prepare); extensional relations are read from the catalog.
+  std::unordered_map<Symbol, Fragment, SymbolHasher> fragments_;
+  std::map<MagicKey, Fragment> magic_;
+  std::set<MagicKey> activated_;
+  std::vector<MagicKey> pending_activations_;
+  std::vector<Activation> activations_;
+  /// Δ subscriptions: fragment -> (activation index, extended original
+  /// atom position); demand sets subscribe their activations at the
+  /// synthetic atom (extended position 0).
+  std::unordered_map<Symbol, std::vector<std::pair<size_t, size_t>>,
+                     SymbolHasher>
+      subs_;
+  std::map<MagicKey, std::vector<size_t>> magic_subs_;
+  std::vector<const Value*> slots_;
+  std::set<Tuple> results_;
+};
+
+}  // namespace wdl
+
+#endif  // WDL_ENGINE_DEMAND_H_

@@ -413,6 +413,7 @@ bool Engine::HasPendingWork() const {
   return dirty_ || !inbound_inserts_.empty() || !inbound_deletes_.empty() ||
          !inbound_derived_.empty() || !pending_resync_serves_.empty() ||
          !pending_delegation_reships_.empty() ||
+         !pending_stream_forgets_.empty() ||
          !pending_self_updates_.empty() || !pending_self_deletes_.empty() ||
          !pending_delete_rechecks_.empty() || !ran_any_stage_;
 }
@@ -1107,6 +1108,14 @@ void Engine::ServeResyncs(StageResult* result) {
         it->second);
   }
   pending_delegation_reships_.clear();
+
+  // Tell former senders to forget streams for relations dropped here,
+  // so a recycled scratch name starts from version 0 on both ends
+  // instead of eating a gap->resync round trip on first reuse.
+  for (const auto& [sender, relation] : pending_stream_forgets_) {
+    result->outbound[sender].stream_forgets.push_back(relation);
+  }
+  pending_stream_forgets_.clear();
 
   // And raise our own: gaps detected while applying inbound deltas —
   // unless a later message of the same batch (duplicate, reordered
@@ -1841,12 +1850,28 @@ Status Engine::DropScratchRelation(const std::string& relation) {
           ir.rule.ToString());
     }
   }
+  // Queue stream-forget notices before the streams disappear: each
+  // remote sender keeps a SentContribution toward us keyed by this
+  // relation, and without the notice a recycled name's first remote
+  // contribution arrives as a mid-stream delta we must reject (one
+  // gap->resync round trip). Dropping the relation is a local act, so
+  // self never appears as a sender here.
+  for (const std::string& sender : slice_store_.SendersForRelation(relation)) {
+    if (sender == self_peer_) continue;
+    pending_stream_forgets_.emplace(sender, relation);
+    dirty_ = true;  // the notices must go out in a stage
+  }
   slice_store_.DropRelation(relation);
   tracker_.DropRelation(relation);
   if (!catalog_.Undeclare(relation)) {
     return Status::NotFound("relation " + relation + " is not declared");
   }
   return Status::OK();
+}
+
+void Engine::ForgetSentStream(const std::string& target_peer,
+                              const std::string& relation) {
+  sent_contributions_.erase(ContributionKey{target_peer, relation});
 }
 
 std::string Engine::DumpAsProgramText() const {

@@ -112,16 +112,21 @@ struct Outbound {
   std::vector<Fact> fact_deletes;  // from deletion rules (-head :- body)
   std::vector<Delegation> delegation_installs;
   std::vector<uint64_t> delegation_retracts;  // Delegation::Key()s
+  /// Relations this peer dropped; the target peer should discard its
+  /// contribution-stream state toward us for them (see DESIGN §9).
+  std::vector<std::string> stream_forgets;
 
   bool empty() const {
     return derived_sets.empty() && derived_deltas.empty() &&
            resync_requests.empty() && fact_deletes.empty() &&
-           delegation_installs.empty() && delegation_retracts.empty();
+           delegation_installs.empty() && delegation_retracts.empty() &&
+           stream_forgets.empty();
   }
   size_t MessageCount() const {
     return derived_sets.size() + derived_deltas.size() +
            resync_requests.size() + (fact_deletes.empty() ? 0 : 1) +
-           delegation_installs.size() + delegation_retracts.size();
+           delegation_installs.size() + delegation_retracts.size() +
+           stream_forgets.size();
   }
 };
 
@@ -281,8 +286,18 @@ class Engine {
 
   /// Removes an ad-hoc scratch relation: catalog entry plus any remote
   /// contribution slices, so a recycled `__query_<n>` name starts
-  /// clean. The caller must have removed every rule referencing it.
+  /// clean. Every remote peer that streamed a contribution here is
+  /// queued a kStreamForget so the recycled name starts from version 0
+  /// on both ends (no gap->resync round trip on first reuse). The
+  /// caller must have removed every rule referencing it.
   Status DropScratchRelation(const std::string& relation);
+
+  /// Handles an inbound kStreamForget: `target_peer` dropped `relation`,
+  /// so discard the contribution stream we were maintaining toward it
+  /// (our next contribution, if any, restarts as a fresh version-1
+  /// snapshot instead of a delta the receiver would reject).
+  void ForgetSentStream(const std::string& target_peer,
+                        const std::string& relation);
 
   /// Human-readable program listing with provenance markers — the
   /// per-peer program view of the paper's Figure 3.
@@ -410,6 +425,10 @@ class Engine {
   // Delegation keys to re-ship next stage (link reset to their target;
   // installs are idempotent by key at the receiver).
   std::set<uint64_t> pending_delegation_reships_;
+  // (sender, relation) stream-forget notices to emit next stage: the
+  // relation was dropped here, the sender should clear its
+  // SentContribution toward us.
+  std::set<std::pair<std::string, std::string>> pending_stream_forgets_;
   // Gaps detected while applying inbound deltas this stage: (sender,
   // relation) -> highest update version we failed to apply. Turned into
   // outbound resync requests in step 3, unless a later message in the

@@ -98,6 +98,9 @@ bool RuleEvaluator::ExistsDerivation(const Rule& rule, const Fact& target) {
   // Note: callers decide what a match *means* — for derivation rules it
   // sustains the tuple (re-derivation), for deletion rules it re-arms a
   // deletion verdict. Both need the raw body-match answer.
+  if (options_.use_compiled_plans) {
+    return ExistsViaPlan(HeadBoundPlanFor(rule), target);
+  }
   Binding binding;
   if (!UnifyHeadWithFact(rule, target, &binding)) return false;
   ++counters_.rederive_checks;
@@ -109,19 +112,82 @@ bool RuleEvaluator::ExistsDerivation(const Rule& rule, const Fact& target) {
   return exists_found_;
 }
 
-void RuleEvaluator::EvictPlan(const Rule& rule) {
-  auto it = plans_.find(rule.Hash());
-  if (it == plans_.end()) return;
-  std::vector<LocalPlanEntry>& bucket = it->second;
-  for (auto p = bucket.begin(); p != bucket.end(); ++p) {
-    if (p->rule == rule) {
-      // Drops this evaluator's strong reference; the shared entry
-      // expires when the last evaluator holding the plan evicts it.
-      bucket.erase(p);
-      break;
+const RulePlan& RuleEvaluator::HeadBoundPlanFor(const Rule& rule) {
+  std::vector<LocalPlanEntry>& bucket = head_bound_plans_[rule.Hash()];
+  for (const LocalPlanEntry& entry : bucket) {
+    if (entry.rule == rule) {
+      ++counters_.plan_cache_hits;
+      return *entry.plan;
     }
   }
-  if (bucket.empty()) plans_.erase(it);
+  bucket.push_back(LocalPlanEntry{
+      rule, SharedPlanCache::Instance().AcquireHeadBound(rule)});
+  ++counters_.plans_compiled;
+  return *bucket.back().plan;
+}
+
+bool RuleEvaluator::ExistsViaPlan(const RulePlan& plan, const Fact& target) {
+  if (plan.head.terms.size() != target.args.size()) return false;
+  slots_.assign(plan.num_slots, nullptr);
+  seed_values_.clear();
+  seed_values_.reserve(target.args.size() + 2);
+
+  // The compiled analogue of UnifyHeadWithFact: constants compare,
+  // first occurrences seed their slot, repeats compare against the
+  // seed.
+  auto seed_slot = [&](uint16_t slot, const Value& v) {
+    if (slots_[slot] != nullptr) return *slots_[slot] == v;
+    seed_values_.push_back(v);
+    slots_[slot] = &seed_values_.back();
+    return true;
+  };
+  auto seed_sym = [&](const PlanSym& ps, const std::string& name) {
+    if (ps.is_const) return ps.text == name;
+    const Value* v = slots_[ps.slot];
+    if (v != nullptr) return v->is_string() && v->AsString() == name;
+    seed_values_.push_back(Value::String(name));
+    slots_[ps.slot] = &seed_values_.back();
+    return true;
+  };
+  if (!seed_sym(plan.head.relation, target.relation)) return false;
+  if (!seed_sym(plan.head.peer, target.peer)) return false;
+  for (size_t i = 0; i < target.args.size(); ++i) {
+    const PlanTerm& pt = plan.head.terms[i];
+    if (pt.op == PlanTerm::Op::kConst) {
+      if (!(pt.value == target.args[i])) return false;
+    } else {
+      if (!seed_slot(pt.slot, target.args[i])) return false;
+    }
+  }
+
+  ++counters_.rederive_checks;
+  exists_mode_ = true;
+  exists_found_ = false;
+  static const Sinks kNoSinks;
+  ExecFrom(plan, plan.atoms, nullptr, 0, nullptr, -1, kNoSinks);
+  exists_mode_ = false;
+  return exists_found_;
+}
+
+void RuleEvaluator::EvictPlan(const Rule& rule) {
+  // Drops this evaluator's strong references (natural and head-bound
+  // flavor alike); a shared entry expires when the last evaluator
+  // holding the plan evicts it.
+  auto evict_from =
+      [&](std::unordered_map<uint64_t, std::vector<LocalPlanEntry>>* plans) {
+        auto it = plans->find(rule.Hash());
+        if (it == plans->end()) return;
+        std::vector<LocalPlanEntry>& bucket = it->second;
+        for (auto p = bucket.begin(); p != bucket.end(); ++p) {
+          if (p->rule == rule) {
+            bucket.erase(p);
+            break;
+          }
+        }
+        if (bucket.empty()) plans->erase(it);
+      };
+  evict_from(&plans_);
+  evict_from(&head_bound_plans_);
 }
 
 // Unifies one stored tuple against the atom's compiled op sequence.
@@ -153,7 +219,12 @@ void RuleEvaluator::ExecFrom(const RulePlan& plan,
                              const uint16_t* order, size_t atom_index,
                              const DeltaMap* delta, int delta_pos,
                              const Sinks& sinks) {
+  if (exists_mode_ && exists_found_) return;  // short-circuit: answered
   if (atom_index == atoms.size()) {
+    if (exists_mode_) {
+      exists_found_ = true;
+      return;
+    }
     EmitHeadPlan(plan, sinks);
     return;
   }
@@ -231,6 +302,7 @@ void RuleEvaluator::ExecFrom(const RulePlan& plan,
   // the relation's reusable snapshot buffers the steady-state loop
   // performs no per-tuple heap allocation.
   auto visit = [&](const Tuple& tuple) {
+    if (exists_mode_ && exists_found_) return;  // drain remaining probes
     ++counters_.tuples_examined;
     if (UnifyTuple(atom, tuple)) {
       counters_.slot_bindings += atom.bound_slots.size();
@@ -266,6 +338,34 @@ void RuleEvaluator::ExecFrom(const RulePlan& plan,
 
   if (relation == nullptr) return;  // empty: no matches
   if (atom.terms.size() != relation->arity()) return;  // arity mismatch
+
+  // Existence checks usually arrive with the atom fully ground (the
+  // seeded head bound every variable, so the atom has no bind ops):
+  // answer with one O(1) membership probe instead of walking an index
+  // bucket — the compiled twin of the interpreter's ground fast path.
+  if (exists_mode_ && atom.bound_slots.empty()) {
+    probe_scratch_.clear();
+    bool ground = true;
+    for (const PlanTerm& pt : atom.terms) {
+      if (pt.op == PlanTerm::Op::kConst) {
+        probe_scratch_.push_back(pt.value);
+        continue;
+      }
+      const Value* v = slots_[pt.slot];
+      if (v == nullptr) {
+        ground = false;
+        break;
+      }
+      probe_scratch_.push_back(*v);
+    }
+    if (ground) {
+      ++counters_.tuples_examined;
+      if (relation->Contains(probe_scratch_)) {
+        ExecFrom(plan, atoms, order, atom_index + 1, delta, delta_pos, sinks);
+      }
+      return;
+    }
+  }
 
   // Access path was chosen at compile time: the first column whose key
   // is known before the atom runs drives an index probe.

@@ -208,7 +208,11 @@ class RuleEvaluator {
   /// one selective body evaluation (head constants drive the access
   /// paths), independent of view size. Evaluation short-circuits on the
   /// first match, emits nothing, and never delegates (a body that
-  /// reaches a remote atom does not derive locally).
+  /// reaches a remote atom does not derive locally). On the compiled
+  /// path this runs the head-bound adorned plan (every head variable's
+  /// slot seeded from `target`, body occurrences compiled to checks and
+  /// index probes); with use_compiled_plans off it interprets, as the
+  /// oracle.
   bool ExistsDerivation(const Rule& rule, const Fact& target);
 
   const EvalCounters& counters() const { return counters_; }
@@ -233,6 +237,12 @@ class RuleEvaluator {
   void EmitHeadPlan(const RulePlan& plan, const Sinks& sinks);
   void EmitDelegationPlan(const RulePlan& plan, size_t split_index,
                           const std::string& target, const Sinks& sinks);
+  /// Seeds `plan`'s head slots from `target` (the compiled analogue of
+  /// UnifyHeadWithFact) and runs the body in exists mode. `plan` must
+  /// be the head-bound flavor of the rule being checked.
+  bool ExistsViaPlan(const RulePlan& plan, const Fact& target);
+  /// The head-bound adorned plan for `rule`, cached like PlanFor.
+  const RulePlan& HeadBoundPlanFor(const Rule& rule);
 
   // --- AST interpreter (differential-testing oracle) -----------------
   void MatchFrom(const Rule& rule, size_t atom_index, Binding* binding,
@@ -249,15 +259,19 @@ class RuleEvaluator {
   EvalOptions options_;
   EvalCounters counters_;
 
-  // ExistsDerivation state: when exists_mode_ is set, MatchFrom
-  // short-circuits on the first complete match (exists_found_) and
-  // treats remote atoms as dead branches instead of delegating. The
-  // interpreter path drives the check on both execution engines: its
-  // Binding handles head-seeded variables naturally (a seeded variable
-  // is a check, not a bind), which compiled slot programs cannot — their
-  // bind/check op split is fixed at compile time for an empty seed.
+  // ExistsDerivation state: when exists_mode_ is set, MatchFrom and
+  // ExecFrom short-circuit on the first complete match (exists_found_)
+  // and treat remote atoms as dead branches instead of delegating. The
+  // compiled path runs the head-bound plan flavor (plan.h), whose
+  // bind/check op split was fixed at compile time for a *seeded* head —
+  // ExistsViaPlan fills the seed slots from the target fact.
   bool exists_mode_ = false;
   bool exists_found_ = false;
+  // Owned storage for seeded slot values (slots point into resident
+  // tuple storage everywhere else; a target fact's values need a home
+  // for the duration of the check). Reserved up front so pushes never
+  // reallocate under live slot pointers.
+  std::vector<Value> seed_values_;
 
   // Local plan cache: one strong reference per rule this evaluator has
   // installed, keyed by exact rule content hash (the per-hash vector
@@ -271,6 +285,10 @@ class RuleEvaluator {
     std::shared_ptr<const RulePlan> plan;
   };
   std::unordered_map<uint64_t, std::vector<LocalPlanEntry>> plans_;
+  // Head-bound flavor of the same rules, resolved lazily on the first
+  // existence check against each rule and evicted together with the
+  // natural plan.
+  std::unordered_map<uint64_t, std::vector<LocalPlanEntry>> head_bound_plans_;
 
   // Reusable execution scratch (capacity persists across Evaluate
   // calls; steady state performs no heap allocation).

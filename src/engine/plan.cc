@@ -1,5 +1,6 @@
 #include "engine/plan.h"
 
+#include <cstdio>
 #include <unordered_map>
 
 namespace wdl {
@@ -37,6 +38,110 @@ void AddUnique(std::vector<Symbol>* out, Symbol sym) {
     if (s == sym) return;
   }
   out->push_back(sym);
+}
+
+/// Compiles one body atom under the boundness state `bound`, advancing
+/// it. Shared by the natural-order pass, the Δ-first variants, and the
+/// adorned flavors: slot numbering lives in `c` and is identical
+/// everywhere; only which occurrence binds vs checks (and hence the
+/// access path) depends on the order atoms execute in and on which
+/// slots were pre-seeded.
+PlanAtom CompileAtom(Compiler& c, const Atom& atom,
+                     std::vector<bool>* bound) {
+  PlanAtom pa;
+  pa.relation = c.CompileSym(atom.relation);
+  pa.peer = c.CompileSym(atom.peer);
+  pa.negated = atom.negated;
+
+  // Snapshot of boundness before this atom: in-atom binds (repeated
+  // variables) satisfy later positions of the same atom but cannot
+  // seed its access path — the key must exist before the tuple loop
+  // starts, exactly like the interpreter's per-call probe choice.
+  std::vector<bool> bound_before = *bound;
+
+  pa.terms.reserve(atom.args.size());
+  for (size_t j = 0; j < atom.args.size(); ++j) {
+    const Term& t = atom.args[j];
+    if (t.is_constant()) {
+      if (j < 64) pa.prebound_args |= uint64_t{1} << j;
+      if (pa.index_column < 0) {
+        pa.index_column = static_cast<int>(j);
+        pa.index_key_is_const = true;
+        pa.index_const = t.value();
+      }
+      pa.terms.push_back(PlanTerm::Const(t.value()));
+      continue;
+    }
+    uint16_t s = c.SlotFor(t.var());
+    if (s >= bound->size()) {
+      bound->resize(s + 1, false);
+      bound_before.resize(s + 1, false);
+    }
+    if ((*bound)[s]) {
+      if (s < bound_before.size() && bound_before[s]) {
+        if (j < 64) pa.prebound_args |= uint64_t{1} << j;
+        if (pa.index_column < 0) {
+          pa.index_column = static_cast<int>(j);
+          pa.index_key_is_const = false;
+          pa.index_slot = s;
+        }
+      }
+      pa.terms.push_back(PlanTerm::Check(s));
+    } else if (atom.negated) {
+      // Negated atoms never bind; a variable that reaches one unbound
+      // can never become ground — statically dead branch.
+      pa.negated_unbound = true;
+      pa.terms.push_back(PlanTerm::Check(s));
+    } else {
+      (*bound)[s] = true;
+      pa.bound_slots.push_back(s);
+      pa.terms.push_back(PlanTerm::Bind(s));
+    }
+  }
+  return pa;
+}
+
+/// Compiles the head under the current boundness state and finalizes
+/// the slot count and static info.
+void CompileHead(Compiler& c, const Rule& rule) {
+  RulePlan& plan = *c.plan;
+  plan.head.relation = c.CompileSym(rule.head.relation);
+  plan.head.peer = c.CompileSym(rule.head.peer);
+  plan.head.terms.reserve(rule.head.args.size());
+  for (const Term& t : rule.head.args) {
+    if (t.is_constant()) {
+      plan.head.terms.push_back(PlanTerm::Const(t.value()));
+      continue;
+    }
+    uint16_t s = c.SlotFor(t.var());
+    if (!c.bound[s]) plan.head.dead = true;
+    plan.head.terms.push_back(PlanTerm::Check(s));
+  }
+  if (!plan.head.relation.is_const && !c.bound[plan.head.relation.slot]) {
+    plan.head.dead = true;
+  }
+  if (!plan.head.peer.is_const && !c.bound[plan.head.peer.slot]) {
+    plan.head.dead = true;
+  }
+  plan.num_slots = static_cast<uint16_t>(plan.slot_vars.size());
+  plan.info = ComputeStaticInfo(rule);
+}
+
+/// True when every body atom names relation and peer with constants and
+/// all atoms share one peer; sets `common_body_peer`. Join order then
+/// carries no semantics, so Δ-first variants may reorder the body.
+bool BodyRotatable(const Rule& rule, RulePlan* plan) {
+  if (rule.body.empty()) return false;
+  for (const Atom& atom : rule.body) {
+    if (!atom.relation.is_name() || !atom.peer.is_name()) return false;
+    Symbol peer_sym = Symbol::Intern(atom.peer.name());
+    if (!plan->common_body_peer.valid()) {
+      plan->common_body_peer = peer_sym;
+    } else if (!(plan->common_body_peer == peer_sym)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -79,88 +184,11 @@ RulePlan CompileRule(const Rule& rule) {
   plan.rule_hash = rule.Hash();
   Compiler c{&plan, {}, {}};
 
-  // Compiles one body atom under the boundness state `bound`, advancing
-  // it. Shared by the natural-order pass and the Δ-first variants: slot
-  // numbering lives in `c` and is identical everywhere; only which
-  // occurrence binds vs checks (and hence the access path) depends on
-  // the order atoms execute in.
-  auto compile_atom = [&](const Atom& atom, std::vector<bool>* bound) {
-    PlanAtom pa;
-    pa.relation = c.CompileSym(atom.relation);
-    pa.peer = c.CompileSym(atom.peer);
-    pa.negated = atom.negated;
-
-    // Snapshot of boundness before this atom: in-atom binds (repeated
-    // variables) satisfy later positions of the same atom but cannot
-    // seed its access path — the key must exist before the tuple loop
-    // starts, exactly like the interpreter's per-call probe choice.
-    std::vector<bool> bound_before = *bound;
-
-    pa.terms.reserve(atom.args.size());
-    for (size_t j = 0; j < atom.args.size(); ++j) {
-      const Term& t = atom.args[j];
-      if (t.is_constant()) {
-        if (pa.index_column < 0) {
-          pa.index_column = static_cast<int>(j);
-          pa.index_key_is_const = true;
-          pa.index_const = t.value();
-        }
-        pa.terms.push_back(PlanTerm::Const(t.value()));
-        continue;
-      }
-      uint16_t s = c.SlotFor(t.var());
-      if (s >= bound->size()) {
-        bound->resize(s + 1, false);
-        bound_before.resize(s + 1, false);
-      }
-      if ((*bound)[s]) {
-        if (pa.index_column < 0 && s < bound_before.size() &&
-            bound_before[s]) {
-          pa.index_column = static_cast<int>(j);
-          pa.index_key_is_const = false;
-          pa.index_slot = s;
-        }
-        pa.terms.push_back(PlanTerm::Check(s));
-      } else if (atom.negated) {
-        // Negated atoms never bind; a variable that reaches one unbound
-        // can never become ground — statically dead branch.
-        pa.negated_unbound = true;
-        pa.terms.push_back(PlanTerm::Check(s));
-      } else {
-        (*bound)[s] = true;
-        pa.bound_slots.push_back(s);
-        pa.terms.push_back(PlanTerm::Bind(s));
-      }
-    }
-    return pa;
-  };
-
   plan.atoms.reserve(rule.body.size());
   for (const Atom& atom : rule.body) {
-    plan.atoms.push_back(compile_atom(atom, &c.bound));
+    plan.atoms.push_back(CompileAtom(c, atom, &c.bound));
   }
-
-  plan.head.relation = c.CompileSym(rule.head.relation);
-  plan.head.peer = c.CompileSym(rule.head.peer);
-  plan.head.terms.reserve(rule.head.args.size());
-  for (const Term& t : rule.head.args) {
-    if (t.is_constant()) {
-      plan.head.terms.push_back(PlanTerm::Const(t.value()));
-      continue;
-    }
-    uint16_t s = c.SlotFor(t.var());
-    if (!c.bound[s]) plan.head.dead = true;
-    plan.head.terms.push_back(PlanTerm::Check(s));
-  }
-  if (!plan.head.relation.is_const && !c.bound[plan.head.relation.slot]) {
-    plan.head.dead = true;
-  }
-  if (!plan.head.peer.is_const && !c.bound[plan.head.peer.slot]) {
-    plan.head.dead = true;
-  }
-
-  plan.num_slots = static_cast<uint16_t>(plan.slot_vars.size());
-  plan.info = ComputeStaticInfo(rule);
+  CompileHead(c, rule);
 
   // Δ-first variants: only when join order is provably semantics-free —
   // every body atom names relation and peer with constants and all
@@ -168,21 +196,7 @@ RulePlan CompileRule(const Rule& rule) {
   // name resolution depends on binding order). The order keeps the
   // non-Δ atoms in their original relative sequence, so every negated
   // atom still runs after the positive atoms that ground it.
-  bool rotatable = !rule.body.empty();
-  for (const Atom& atom : rule.body) {
-    if (!atom.relation.is_name() || !atom.peer.is_name()) {
-      rotatable = false;
-      break;
-    }
-    Symbol peer_sym = Symbol::Intern(atom.peer.name());
-    if (!plan.common_body_peer.valid()) {
-      plan.common_body_peer = peer_sym;
-    } else if (!(plan.common_body_peer == peer_sym)) {
-      rotatable = false;
-      break;
-    }
-  }
-  if (rotatable && rule.body.size() > 1) {
+  if (BodyRotatable(rule, &plan) && rule.body.size() > 1) {
     plan.delta_variants.resize(rule.body.size());
     for (size_t pos = 0; pos < rule.body.size(); ++pos) {
       if (rule.body[pos].negated) continue;  // never a Δ position
@@ -194,7 +208,96 @@ RulePlan CompileRule(const Rule& rule) {
       std::vector<bool> bound(plan.slot_vars.size(), false);
       v.atoms.reserve(v.order.size());
       for (uint16_t original : v.order) {
-        v.atoms.push_back(compile_atom(rule.body[original], &bound));
+        v.atoms.push_back(CompileAtom(c, rule.body[original], &bound));
+      }
+      v.valid = true;
+    }
+  }
+  return plan;
+}
+
+RulePlan CompileRuleHeadBound(const Rule& rule) {
+  RulePlan plan;
+  plan.rule = rule;
+  plan.rule_hash = rule.Hash();
+  plan.adorned = true;
+  size_t nargs = rule.head.args.size();
+  plan.adornment = nargs >= 64 ? ~uint64_t{0} : (uint64_t{1} << nargs) - 1;
+  Compiler c{&plan, {}, {}};
+
+  // Every head variable is seeded by the caller before execution, so
+  // body occurrences compile to checks and index probes.
+  auto seed = [&](const std::string& var) { c.bound[c.SlotFor(var)] = true; };
+  if (!rule.head.relation.is_name()) seed(rule.head.relation.var());
+  if (!rule.head.peer.is_name()) seed(rule.head.peer.var());
+  for (const Term& t : rule.head.args) {
+    if (!t.is_constant()) seed(t.var());
+  }
+
+  plan.atoms.reserve(rule.body.size());
+  for (const Atom& atom : rule.body) {
+    plan.atoms.push_back(CompileAtom(c, atom, &c.bound));
+  }
+  CompileHead(c, rule);
+  return plan;  // existence checks run the natural order: no Δ variants
+}
+
+RulePlan CompileRuleDemand(const Rule& rule, uint64_t adornment) {
+  RulePlan plan;
+  plan.rule = rule;
+  plan.rule_hash = rule.Hash();
+  plan.adorned = true;
+  plan.adornment = adornment;
+  plan.has_demand_atom = true;
+  Compiler c{&plan, {}, {}};
+
+  // The synthetic demand atom: one term per bound head position,
+  // mirroring the head's term there — a head constant filters demand
+  // keys that can never match, a head variable binds its slot from the
+  // demand key. Compiled like any atom, so repeated variables and
+  // access paths fall out of the existing machinery. Its relation/peer
+  // names are placeholders; the evaluator routes extended atom index 0
+  // to the demand set, never to a catalog.
+  Atom demand_atom;
+  demand_atom.relation = SymTerm::Name(kDemandAtomName);
+  demand_atom.peer = SymTerm::Name(kDemandAtomName);
+  for (size_t j = 0; j < rule.head.args.size() && j < 64; ++j) {
+    if ((adornment >> j) & 1) demand_atom.args.push_back(rule.head.args[j]);
+  }
+
+  plan.atoms.reserve(rule.body.size() + 1);
+  plan.atoms.push_back(CompileAtom(c, demand_atom, &c.bound));
+  for (const Atom& atom : rule.body) {
+    plan.atoms.push_back(CompileAtom(c, atom, &c.bound));
+  }
+  CompileHead(c, rule);
+
+  // Δ-first variants over the extended body. A new-demand Δ (position
+  // 0) keeps the natural order — demand first is exactly right. A body
+  // Δ moves the demand atom *last*: by then the Δ tuple has bound the
+  // join variables, so outstanding demands are index-probed instead of
+  // scanned. Reordering across a negated atom could strand it before
+  // its binder, so bodies with negation keep natural order only (the
+  // demand evaluator falls back to the full-fixpoint path for negation
+  // anyway).
+  bool has_negation = false;
+  for (const Atom& atom : rule.body) has_negation |= atom.negated;
+  if (BodyRotatable(rule, &plan) && !has_negation) {
+    size_t n = plan.atoms.size();
+    plan.delta_variants.resize(n);
+    for (size_t pos = 0; pos < n; ++pos) {
+      DeltaVariant& v = plan.delta_variants[pos];
+      v.order.push_back(static_cast<uint16_t>(pos));
+      for (size_t i = 1; i < n; ++i) {
+        if (i != pos) v.order.push_back(static_cast<uint16_t>(i));
+      }
+      if (pos != 0) v.order.push_back(0);
+      std::vector<bool> bound(plan.slot_vars.size(), false);
+      v.atoms.reserve(v.order.size());
+      for (uint16_t original : v.order) {
+        const Atom& src =
+            original == 0 ? demand_atom : rule.body[original - 1];
+        v.atoms.push_back(CompileAtom(c, src, &bound));
       }
       v.valid = true;
     }
@@ -271,6 +374,15 @@ bool SubstituteCompiled(const PlanSym& rel, const PlanSym& peer,
 
 std::string RulePlan::DebugString() const {
   std::string out = "plan for: " + rule.ToString() + "\n";
+  if (adorned) {
+    out += "adorned: mask=0x";
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llx",
+                  static_cast<unsigned long long>(adornment));
+    out += buf;
+    if (has_demand_atom) out += " demand-atom";
+    out += "\n";
+  }
   out += "slots:";
   for (size_t s = 0; s < slot_vars.size(); ++s) {
     out += " " + std::to_string(s) + "=$" + slot_vars[s];

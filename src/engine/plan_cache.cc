@@ -109,14 +109,55 @@ SharedPlanCache& SharedPlanCache::Instance() {
 }
 
 std::shared_ptr<const RulePlan> SharedPlanCache::Acquire(const Rule& rule) {
-  const uint64_t key = CanonicalRuleHash(rule);
+  return AcquireVariant(rule, Flavor::kNatural, 0);
+}
+
+std::shared_ptr<const RulePlan> SharedPlanCache::AcquireHeadBound(
+    const Rule& rule) {
+  return AcquireVariant(rule, Flavor::kHeadBound, 0);
+}
+
+std::shared_ptr<const RulePlan> SharedPlanCache::AcquireDemand(
+    const Rule& rule, uint64_t adornment) {
+  return AcquireVariant(rule, Flavor::kDemand, adornment);
+}
+
+std::shared_ptr<const RulePlan> SharedPlanCache::AcquireVariant(
+    const Rule& rule, Flavor flavor, uint64_t adornment) {
+  uint64_t key = CanonicalRuleHash(rule);
+  if (flavor != Flavor::kNatural) {
+    key = HashCombine(key, static_cast<uint64_t>(flavor));
+    key = HashCombine(key, adornment);
+  }
+  // A match must agree on flavor and adornment, not just the rule:
+  // natural, head-bound, and per-pattern demand plans of one rule are
+  // distinct objects sharing this map.
+  auto matches = [&](const RulePlan& plan) {
+    if (plan.adorned != (flavor != Flavor::kNatural)) return false;
+    if (plan.has_demand_atom != (flavor == Flavor::kDemand)) return false;
+    if (flavor == Flavor::kDemand && plan.adornment != adornment) {
+      return false;
+    }
+    return AlphaEquivalent(plan.rule, rule);
+  };
+  auto compile = [&]() {
+    switch (flavor) {
+      case Flavor::kHeadBound:
+        return CompileRuleHeadBound(rule);
+      case Flavor::kDemand:
+        return CompileRuleDemand(rule, adornment);
+      case Flavor::kNatural:
+        break;
+    }
+    return CompileRule(rule);
+  };
   {
     std::shared_lock<std::shared_mutex> lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       for (const std::weak_ptr<const RulePlan>& weak : it->second) {
         std::shared_ptr<const RulePlan> plan = weak.lock();
-        if (plan != nullptr && AlphaEquivalent(plan->rule, rule)) {
+        if (plan != nullptr && matches(*plan)) {
           hits_.fetch_add(1, std::memory_order_relaxed);
           return plan;
         }
@@ -134,13 +175,13 @@ std::shared_ptr<const RulePlan> SharedPlanCache::Acquire(const Rule& rule) {
       it = bucket.erase(it);
       continue;
     }
-    if (AlphaEquivalent(plan->rule, rule)) {
+    if (matches(*plan)) {
       hits_.fetch_add(1, std::memory_order_relaxed);
       return plan;
     }
     ++it;
   }
-  auto plan = std::make_shared<const RulePlan>(CompileRule(rule));
+  auto plan = std::make_shared<const RulePlan>(compile());
   bucket.push_back(plan);
   compiles_.fetch_add(1, std::memory_order_relaxed);
   if (++inserts_since_sweep_ >= kSweepInterval) {

@@ -60,6 +60,18 @@ class SharedPlanCache {
   /// α-equivalent rules return the same plan object.
   std::shared_ptr<const RulePlan> Acquire(const Rule& rule);
 
+  /// The head-bound (fully adorned) plan for `rule`: every head
+  /// variable pre-seeded bound, for DRed existence checks. Cached
+  /// alongside the natural plans but never aliased with them.
+  std::shared_ptr<const RulePlan> AcquireHeadBound(const Rule& rule);
+
+  /// The demand (magic-set) plan for `rule` under a binding pattern:
+  /// `adornment` bit j marks head argument position j as bound by the
+  /// demand. Keyed by (rule, adornment), so each binding pattern of a
+  /// hot rule compiles once process-wide across queries and peers.
+  std::shared_ptr<const RulePlan> AcquireDemand(const Rule& rule,
+                                                uint64_t adornment);
+
   /// Global compile/hit tallies (the "one compile per distinct rule at
   /// N peers" acceptance instrument).
   Stats stats() const;
@@ -71,7 +83,16 @@ class SharedPlanCache {
   void ResetStatsForTesting();
 
  private:
+  // The three compiled flavors of a rule live in one map but never
+  // alias: the flavor is mixed into the bucket key and re-verified on
+  // the plan itself at match time.
+  enum class Flavor : uint8_t { kNatural, kHeadBound, kDemand };
+
   SharedPlanCache() = default;
+
+  std::shared_ptr<const RulePlan> AcquireVariant(const Rule& rule,
+                                                 Flavor flavor,
+                                                 uint64_t adornment);
 
   // Full expired-entry sweeps run every this-many insertions, bounding
   // the map's tombstone growth under plan churn.

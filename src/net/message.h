@@ -23,6 +23,7 @@ enum class MessageType : uint8_t {
   kHello = 5,             // peer announcement (discovery)
   kDerivedDelta = 6,      // differential contribution update (DESIGN §5)
   kResyncRequest = 7,     // "re-send your contribution to <relation> in full"
+  kStreamForget = 8,      // "I dropped <relation>; forget your stream to me"
 };
 
 const char* MessageTypeToString(MessageType type);
@@ -35,13 +36,15 @@ struct Message {
   DerivedDelta delta;          // kDerivedDelta
   Delegation delegation;       // kDelegationInstall
   uint64_t delegation_key = 0; // kDelegationRetract
-  std::string text;            // kHello: peer name; kResyncRequest: relation
+  /// kHello: peer name; kResyncRequest / kStreamForget: relation.
+  std::string text;
 
   static Message FactInserts(std::vector<Fact> facts);
   static Message FactDeletes(std::vector<Fact> facts);
   static Message MakeDerivedSet(DerivedSet set);
   static Message MakeDerivedDelta(DerivedDelta delta);
   static Message ResyncRequest(std::string relation);
+  static Message StreamForget(std::string relation);
   static Message DelegationInstall(Delegation d);
   static Message DelegationRetract(uint64_t key);
   static Message Hello(std::string peer_name);

@@ -153,6 +153,7 @@ void WireEncoder::PutMessage(const Message& m) {
       break;
     case MessageType::kHello:
     case MessageType::kResyncRequest:
+    case MessageType::kStreamForget:
       PutString(m.text);
       break;
     case MessageType::kDerivedDelta:
@@ -394,7 +395,7 @@ Result<DerivedDelta> WireDecoder::GetDerivedDelta() {
 Result<Message> WireDecoder::GetMessage() {
   Message m;
   WDL_ASSIGN_OR_RETURN(uint8_t type, GetU8());
-  if (type > static_cast<uint8_t>(MessageType::kResyncRequest)) {
+  if (type > static_cast<uint8_t>(MessageType::kStreamForget)) {
     return Status::ParseError(StrFormat("bad message type %u", type));
   }
   m.type = static_cast<MessageType>(type);
@@ -422,7 +423,8 @@ Result<Message> WireDecoder::GetMessage() {
       break;
     }
     case MessageType::kHello:
-    case MessageType::kResyncRequest: {
+    case MessageType::kResyncRequest:
+    case MessageType::kStreamForget: {
       WDL_ASSIGN_OR_RETURN(m.text, GetString());
       break;
     }

@@ -86,6 +86,13 @@ void Peer::HandleEnvelope(const Envelope& envelope) {
         engine_->RetractDelegatedRule(m.delegation_key);
       }
       break;
+    case MessageType::kStreamForget:
+      // Control-plane only: clearing stream state on a peer that never
+      // materialized its engine would force a pointless lazy load.
+      if (engine_ != nullptr) {
+        engine_->ForgetSentStream(envelope.from, m.text);
+      }
+      break;
     case MessageType::kHello:
       known_peers_.insert(m.text);
       break;
@@ -122,6 +129,9 @@ std::vector<Envelope> Peer::RunStage() {
     }
     for (uint64_t key : outbound.delegation_retracts) {
       make_envelope(Message::DelegationRetract(key));
+    }
+    for (std::string& relation : outbound.stream_forgets) {
+      make_envelope(Message::StreamForget(std::move(relation)));
     }
   }
   return out;

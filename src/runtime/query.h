@@ -1,6 +1,7 @@
 #ifndef WDL_RUNTIME_QUERY_H_
 #define WDL_RUNTIME_QUERY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,8 +17,31 @@ struct QueryResult {
   std::vector<std::string> columns;
   std::vector<Tuple> rows;
   int rounds = 0;  // system rounds the evaluation took
+  /// True when the demand-driven (magic-set) path answered the query;
+  /// false for the full-fixpoint scratch-rule path.
+  bool demand_path = false;
+  /// Candidate tuples the evaluation unified against — the "how much
+  /// did this query touch" instrument. On the demand path this is
+  /// O(tuples reachable from the query's constants); the full path
+  /// reports the query peer's whole-fixpoint count.
+  uint64_t tuples_examined = 0;
 
   std::string ToString() const;
+};
+
+/// Per-query knobs. `use_demand_evaluation` defaults from the
+/// WDL_QUERY_DEMAND environment variable (unset/1/on → true; 0/off →
+/// false), read once per process. When true, bound queries whose
+/// reachable rule cone is local, positive, and insert-only are answered
+/// by the demand-driven evaluator (engine/demand.h) without touching
+/// the installed program; everything else — and everything when false —
+/// runs the full scratch-rule fixpoint, which also serves as the
+/// differential oracle for the demand path.
+struct QueryOptions {
+  bool use_demand_evaluation;
+  int max_rounds = 300;
+
+  QueryOptions();
 };
 
 /// Runs an ad-hoc WebdamLog query at `peer` — the §4 "Query tab":
@@ -27,7 +51,9 @@ struct QueryResult {
 /// `body` is a comma-separated list of body atoms, e.g.
 ///   "selectedAttendee@Jules($a), pictures@$a($id, $name, $o, $d)".
 ///
-/// Mechanically: a temporary intensional relation and rule
+/// Demand-eligible bound queries (see QueryOptions) are evaluated
+/// in-place over the quiescent engine. Otherwise, mechanically: a
+/// temporary intensional relation and rule
 ///   __query_K@peer($v1, ..., $vn) :- body
 /// are installed, the system runs to quiescence (distributed bodies
 /// delegate as usual, subject to the targets' delegation gates), the
@@ -35,6 +61,9 @@ struct QueryResult {
 /// including a second convergence pass so remote residuals retract.
 ///
 /// The query must satisfy the usual left-to-right safety conditions.
+Result<QueryResult> RunQuery(System* system, const std::string& peer,
+                             const std::string& body,
+                             const QueryOptions& options);
 Result<QueryResult> RunQuery(System* system, const std::string& peer,
                              const std::string& body, int max_rounds = 300);
 

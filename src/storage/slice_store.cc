@@ -102,6 +102,15 @@ std::vector<std::string> SliceStore::RelationsFromSender(
   return out;
 }
 
+std::vector<std::string> SliceStore::SendersForRelation(
+    const std::string& relation) const {
+  std::vector<std::string> out;
+  auto it = streams_.find(relation);
+  if (it == streams_.end()) return out;
+  for (const auto& [sender, stream] : it->second) out.push_back(sender);
+  return out;
+}
+
 void SliceStore::ResetStreamVersions(const std::string& sender) {
   for (auto& [relation, senders] : streams_) {
     auto it = senders.find(sender);

@@ -124,6 +124,12 @@ class SliceStore {
   std::vector<std::string> RelationsFromSender(
       const std::string& sender) const;
 
+  /// Senders with a stream for `relation` here, in name order (used to
+  /// tell them to forget their side of the stream when the relation is
+  /// dropped).
+  std::vector<std::string> SendersForRelation(
+      const std::string& relation) const;
+
   /// Forgets the stream *positions* of every stream from `sender`
   /// (slices stay). After a transport link reset the sender may have
   /// restarted and begun renumbering its streams from 1; resetting to

@@ -1,0 +1,355 @@
+// Demand-driven query evaluation (DESIGN.md §10): the magic-set path
+// and the full-fixpoint scratch-rule path must return identical
+// QueryResults on every query — the demand path is an optimization,
+// never a semantics change. Ineligible queries (unbound, cross-peer,
+// negation or deletion rules in the reachable cone) must fall back to
+// the full path transparently.
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/query.h"
+#include "support/builders.h"
+
+namespace wdl {
+namespace {
+
+using test::I;
+using test::S;
+
+QueryOptions Demand(bool on) {
+  QueryOptions o;
+  o.use_demand_evaluation = on;
+  return o;
+}
+
+/// Runs `body` at `peer` in both modes and requires identical columns
+/// and rows (the full path is the demand path's differential oracle).
+/// Returns the demand-mode result for extra assertions.
+QueryResult ExpectModesAgree(System* system, const std::string& peer,
+                             const std::string& body) {
+  Result<QueryResult> demand = RunQuery(system, peer, body, Demand(true));
+  Result<QueryResult> full = RunQuery(system, peer, body, Demand(false));
+  EXPECT_EQ(demand.ok(), full.ok()) << body;
+  if (!demand.ok() || !full.ok()) return QueryResult{};
+  EXPECT_EQ(demand->columns, full->columns) << body;
+  EXPECT_EQ(demand->rows, full->rows) << body;
+  EXPECT_FALSE(full->demand_path) << body;
+  return std::move(demand).value();
+}
+
+class QueryDemandTest : public ::testing::Test {
+ protected:
+  void LoadChainProgram(Peer* peer, int nodes) {
+    ASSERT_TRUE(peer->LoadProgramText(R"(
+      collection ext edge@a(x: int, y: int);
+      collection int path@a(x: int, y: int);
+      rule path@a($x, $y) :- edge@a($x, $y);
+      rule path@a($x, $z) :- edge@a($x, $y), path@a($y, $z);
+    )").ok());
+    for (int i = 0; i + 1 < nodes; ++i) {
+      ASSERT_TRUE(peer->engine()
+                      .InsertFact(Fact("edge", "a", {I(i), I(i + 1)}))
+                      .ok());
+    }
+  }
+};
+
+TEST_F(QueryDemandTest, BoundPointQueryTakesDemandPath) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  LoadChainProgram(a, 8);
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult r = ExpectModesAgree(&system, "a", "path@a(2, $y)");
+  EXPECT_TRUE(r.demand_path);
+  ASSERT_EQ(r.rows.size(), 5u);  // 3..7
+  EXPECT_EQ(r.rows.front(), (Tuple{I(3)}));
+  EXPECT_EQ(r.rows.back(), (Tuple{I(7)}));
+}
+
+TEST_F(QueryDemandTest, FullyBoundMembershipQuery) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  LoadChainProgram(a, 8);
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult hit = ExpectModesAgree(&system, "a", "path@a(1, 6)");
+  EXPECT_TRUE(hit.demand_path);
+  EXPECT_EQ(hit.rows.size(), 1u);  // the empty tuple: membership holds
+  QueryResult miss = ExpectModesAgree(&system, "a", "path@a(6, 1)");
+  EXPECT_TRUE(miss.demand_path);
+  EXPECT_TRUE(miss.rows.empty());
+}
+
+TEST_F(QueryDemandTest, LastPositionBoundQuery) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  LoadChainProgram(a, 8);
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  // Adornment 0b10: who reaches node 5?
+  QueryResult r = ExpectModesAgree(&system, "a", "path@a($x, 5)");
+  EXPECT_TRUE(r.demand_path);
+  EXPECT_EQ(r.rows.size(), 5u);  // 0..4
+}
+
+TEST_F(QueryDemandTest, UnboundQueryFallsBack) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  LoadChainProgram(a, 6);
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult r = ExpectModesAgree(&system, "a", "path@a($x, $y)");
+  EXPECT_FALSE(r.demand_path);
+  EXPECT_EQ(r.rows.size(), 15u);  // C(6,2) pairs on a 6-chain
+}
+
+TEST_F(QueryDemandTest, BoundExtensionalOnlyQuery) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  LoadChainProgram(a, 6);
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult r = ExpectModesAgree(&system, "a", "edge@a(3, $y)");
+  EXPECT_TRUE(r.demand_path);
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0], (Tuple{I(4)}));
+}
+
+TEST_F(QueryDemandTest, JoinThroughIntensionalAndExtensional) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  LoadChainProgram(a, 8);
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult r = ExpectModesAgree(
+      &system, "a", "edge@a(0, $y), path@a($y, $z)");
+  EXPECT_TRUE(r.demand_path);
+  EXPECT_EQ(r.rows.size(), 6u);  // y=1, z in 2..7
+}
+
+TEST_F(QueryDemandTest, NegationInConeFallsBack) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext node@a(x: int);
+    collection ext blocked@a(x: int);
+    collection int open@a(x: int);
+    rule open@a($x) :- node@a($x), not blocked@a($x);
+    fact node@a(1); fact node@a(2); fact node@a(3);
+    fact blocked@a(2);
+  )").ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult r = ExpectModesAgree(&system, "a", "open@a(1)");
+  EXPECT_FALSE(r.demand_path);
+  EXPECT_EQ(r.rows.size(), 1u);
+  // Negation on an extensional atom directly in the query body is
+  // equally ineligible.
+  QueryResult q =
+      ExpectModesAgree(&system, "a", "node@a(3), not blocked@a(3)");
+  EXPECT_FALSE(q.demand_path);
+}
+
+TEST_F(QueryDemandTest, DeletionRuleInConeFallsBack) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext stock@a(item: string);
+    collection ext sold@a(item: string);
+    rule -stock@a($i) :- sold@a($i);
+    fact stock@a("kept");
+  )").ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  // stock is extensional — readable from the catalog — so a bound query
+  // on it stays demand-eligible even with the deletion rule installed.
+  QueryResult r = ExpectModesAgree(&system, "a", "stock@a(\"kept\")");
+  EXPECT_TRUE(r.demand_path);
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(QueryDemandTest, CrossPeerQueryFallsBack) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  Peer* b = system.CreatePeer("b");
+  a->gate().TrustPeer("b");
+  b->gate().TrustPeer("a");
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext likes@a(who: string, what: string);
+    fact likes@a("a", "jazz");
+  )").ok());
+  ASSERT_TRUE(b->LoadProgramText(R"(
+    collection ext likes@b(who: string, what: string);
+    fact likes@b("b", "jazz");
+  )").ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult r = ExpectModesAgree(
+      &system, "a", "likes@a(\"a\", $x), likes@b($other, $x)");
+  EXPECT_FALSE(r.demand_path);
+  EXPECT_EQ(r.rows.size(), 1u);
+}
+
+TEST_F(QueryDemandTest, RemoteContributionsSeedFragments) {
+  // b's view is fed by a rule at a deriving into b: the demand path
+  // must see those received contributions (slice store), not recompute
+  // them.
+  System system;
+  Peer* a = system.CreatePeer("a");
+  Peer* b = system.CreatePeer("b");
+  a->gate().TrustPeer("b");
+  b->gate().TrustPeer("a");
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext local@a(x: int);
+    rule seen@b($x) :- local@a($x);
+    fact local@a(1); fact local@a(2);
+  )").ok());
+  ASSERT_TRUE(b->LoadProgramText(R"(
+    collection int seen@b(x: int);
+    collection int doubled@b(x: int);
+    rule doubled@b($x) :- seen@b($x);
+  )").ok());
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult direct = ExpectModesAgree(&system, "b", "seen@b(2)");
+  EXPECT_TRUE(direct.demand_path);
+  EXPECT_EQ(direct.rows.size(), 1u);
+  QueryResult derived = ExpectModesAgree(&system, "b", "doubled@b(1)");
+  EXPECT_TRUE(derived.demand_path);
+  EXPECT_EQ(derived.rows.size(), 1u);
+}
+
+TEST_F(QueryDemandTest, DemandTouchesOnlyReachableTuples) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  // 50 disjoint chains of length 4: a bound query on one chain head
+  // must not look at the other 49 chains.
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext edge@a(x: int, y: int);
+    collection int path@a(x: int, y: int);
+    rule path@a($x, $y) :- edge@a($x, $y);
+    rule path@a($x, $z) :- edge@a($x, $y), path@a($y, $z);
+  )").ok());
+  for (int c = 0; c < 50; ++c) {
+    for (int i = 0; i < 4; ++i) {
+      int node = c * 10 + i;
+      ASSERT_TRUE(a->engine()
+                      .InsertFact(Fact("edge", "a", {I(node), I(node + 1)}))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  Result<QueryResult> demand =
+      RunQuery(&system, "a", "path@a(0, $y)", Demand(true));
+  Result<QueryResult> full =
+      RunQuery(&system, "a", "path@a(0, $y)", Demand(false));
+  ASSERT_TRUE(demand.ok() && full.ok());
+  ASSERT_TRUE(demand->demand_path);
+  EXPECT_EQ(demand->rows, full->rows);
+  EXPECT_EQ(demand->rows.size(), 4u);
+  // O(relevant): one chain's worth of tuples, not the whole graph. The
+  // full path re-derives all 50 chains' closures (200 edges, 500 path
+  // tuples); the demand cone is bounded by one chain.
+  EXPECT_GT(demand->tuples_examined, 0u);
+  EXPECT_LT(demand->tuples_examined, 100u);
+  EXPECT_LT(demand->tuples_examined * 5, full->tuples_examined);
+}
+
+TEST_F(QueryDemandTest, QueriesLeaveNoTraceBehind) {
+  System system;
+  Peer* a = system.CreatePeer("a");
+  LoadChainProgram(a, 6);
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  ASSERT_TRUE(RunQuery(&system, "a", "path@a(0, $y)", Demand(true)).ok());
+  size_t symbols = Symbol::TableSizeForTesting();
+  size_t rules = a->engine().rules().size();
+  std::vector<std::string> names = a->engine().catalog().RelationNames();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        RunQuery(&system, "a", "path@a(0, $y)", Demand(true)).ok());
+    ASSERT_TRUE(
+        RunQuery(&system, "a", "path@a($x, 3)", Demand(true)).ok());
+  }
+  EXPECT_EQ(Symbol::TableSizeForTesting(), symbols);
+  EXPECT_EQ(a->engine().rules().size(), rules);
+  EXPECT_EQ(a->engine().catalog().RelationNames(), names);
+}
+
+TEST_F(QueryDemandTest, RandomizedBindingPatternSweep) {
+  // Random sparse graph, every binding pattern of path/edge queries,
+  // random constants (present and absent): both modes must agree on
+  // every single query.
+  System system;
+  Peer* a = system.CreatePeer("a");
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext edge@a(x: int, y: int);
+    collection int path@a(x: int, y: int);
+    collection int back@a(x: int, y: int);
+    rule path@a($x, $y) :- edge@a($x, $y);
+    rule path@a($x, $z) :- edge@a($x, $y), path@a($y, $z);
+    rule back@a($y, $x) :- path@a($x, $y);
+  )").ok());
+  std::mt19937 rng(1234);
+  const int kNodes = 24;
+  std::uniform_int_distribution<int> node(0, kNodes - 1);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(a->engine()
+                    .InsertFact(Fact("edge", "a", {I(node(rng)), I(node(rng))}))
+                    .ok());
+  }
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  std::uniform_int_distribution<int> constant(0, kNodes + 3);  // some misses
+  const std::vector<std::string> relations = {"edge", "path", "back"};
+  std::uniform_int_distribution<size_t> pick(0, relations.size() - 1);
+  std::uniform_int_distribution<int> pattern(0, 2);  // 01, 10, 11
+  for (int q = 0; q < 60; ++q) {
+    const std::string& rel = relations[pick(rng)];
+    int pat = pattern(rng);
+    std::string first = (pat == 1) ? "$x" : std::to_string(constant(rng));
+    std::string second = (pat == 0) ? "$y" : std::to_string(constant(rng));
+    std::string body = rel + "@a(" + first + ", " + second + ")";
+    QueryResult r = ExpectModesAgree(&system, "a", body);
+    EXPECT_TRUE(r.demand_path) << body;
+  }
+  // And a handful of random two-atom joins with a bound seed.
+  for (int q = 0; q < 20; ++q) {
+    std::string body = "edge@a(" + std::to_string(constant(rng)) +
+                       ", $y), path@a($y, $z)";
+    ExpectModesAgree(&system, "a", body);
+  }
+}
+
+TEST_F(QueryDemandTest, MutateBetweenQueriesStaysConsistent) {
+  // The demand path recomputes from base state on every call; inserts
+  // and deletes between queries must be reflected exactly like the
+  // full path reflects them.
+  System system;
+  Peer* a = system.CreatePeer("a");
+  LoadChainProgram(a, 5);
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult before = ExpectModesAgree(&system, "a", "path@a(0, $y)");
+  EXPECT_EQ(before.rows.size(), 4u);
+
+  // Extend the chain: 4 -> 5.
+  ASSERT_TRUE(a->engine().InsertFact(Fact("edge", "a", {I(4), I(5)})).ok());
+  QueryResult extended = ExpectModesAgree(&system, "a", "path@a(0, $y)");
+  EXPECT_TRUE(extended.demand_path);
+  EXPECT_EQ(extended.rows.size(), 5u);
+
+  // Cut the chain at 2 -> 3.
+  ASSERT_TRUE(a->engine().RemoveFact(Fact("edge", "a", {I(2), I(3)})).ok());
+  QueryResult cut = ExpectModesAgree(&system, "a", "path@a(0, $y)");
+  EXPECT_EQ(cut.rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace wdl

@@ -111,6 +111,24 @@ TEST_F(QueryTest, ScratchRelationsAreRecycled) {
             catalog_after_first);
 }
 
+TEST_F(QueryTest, RecycledNamesTriggerNoResyncs) {
+  // A distributed query makes bob stream a contribution into alice's
+  // scratch relation. Teardown drops the relation and tells bob to
+  // forget his side of the stream (kStreamForget), so a later query
+  // reusing the recycled name starts with a fresh snapshot on a clean
+  // stream. Without the notice bob would resume mid-stream and alice
+  // would detect a gap — one resync round trip per recycled
+  // distributed query.
+  for (int i = 0; i < 4; ++i) {
+    Result<QueryResult> r = RunQuery(
+        &system_, "alice", "likes@alice($me, $x), likes@bob($other, $x)");
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_EQ(r->rows.size(), 1u);
+  }
+  EXPECT_EQ(alice_->engine().propagation_counters().resyncs_requested, 0u);
+  EXPECT_EQ(bob_->engine().propagation_counters().resyncs_requested, 0u);
+}
+
 TEST_F(QueryTest, UnsafeQueryRejected) {
   // $p is a peer variable not bound by a previous atom.
   Result<QueryResult> r = RunQuery(&system_, "alice", "likes@$p($w, $x)");

@@ -83,6 +83,7 @@ std::vector<Envelope> AllMessageKinds() {
 
   push(Message::Hello("emilien"));
   push(Message::ResyncRequest("attendeePictures"));
+  push(Message::StreamForget("attendeePictures"));
   return out;
 }
 

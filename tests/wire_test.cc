@@ -136,6 +136,14 @@ TEST(WireTest, RetractAndHelloRoundTrip) {
   e2.to = "b";
   e2.message = Message::Hello("charlie");
   EXPECT_EQ(RoundTrip(e2).message.text, "charlie");
+
+  Envelope e3;
+  e3.from = "a";
+  e3.to = "b";
+  e3.message = Message::StreamForget("__query_0");
+  Envelope back = RoundTrip(e3);
+  EXPECT_EQ(back.message.type, MessageType::kStreamForget);
+  EXPECT_EQ(back.message.text, "__query_0");
 }
 
 TEST(WireTest, BadMagicRejected) {

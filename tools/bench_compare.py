@@ -4,7 +4,7 @@
 Usage:
   bench_compare.py BASELINE.json CURRENT.json [--suite SUITE]
                    [--fail-below R] [--counters PREFIX[,PREFIX...]]
-                   [--memory] [--speedup]
+                   [--latency] [--memory] [--speedup]
 
 Prints a per-benchmark throughput table: baseline and current wall time
 per iteration, and the throughput ratio current-vs-baseline (>1 means
@@ -95,6 +95,57 @@ def print_counters(base_path, curr_path, prefixes, suite_filter):
         else:
             ratio = f"{'-':>8}"
         print(f"{label:<{name_w}} {b_s:>14} {c_s:>14} {ratio}")
+
+
+LATENCY_KEYS = ("p50_ns", "p95_ns", "p99_ns")
+
+
+def load_latency(path):
+    """Per-benchmark tail-latency counters (p50_ns/p95_ns/p99_ns),
+    recorded by benches that time each iteration by hand (bench_query's
+    bound-point lookups); absent elsewhere."""
+    with open(path) as f:
+        doc = json.load(f)
+    suites = {}
+    for suite, report in doc.get("suites", {}).items():
+        for bench in report.get("benchmarks", []):
+            if bench.get("run_type") != "iteration":
+                continue
+            if not all(k in bench for k in LATENCY_KEYS):
+                continue
+            suites.setdefault(suite, {})[bench["name"]] = tuple(
+                bench[k] for k in LATENCY_KEYS)
+    return suites
+
+
+def print_latency(base_path, curr_path, suite_filter):
+    base = load_latency(base_path)
+    curr = load_latency(curr_path)
+    suites = sorted(set(base) | set(curr))
+    if suite_filter:
+        suites = [s for s in suites if s in set(suite_filter)]
+    rows = []
+    for suite in suites:
+        for name in sorted(set(base.get(suite, {})) | set(curr.get(suite, {}))):
+            rows.append((name, base.get(suite, {}).get(name),
+                         curr.get(suite, {}).get(name)))
+    print()
+    if not rows:
+        print("latency: no p50/p95/p99 counters in either file")
+        return
+    name_w = max(len(r[0]) for r in rows) + 2
+    print("latency percentiles (per-iteration wall time)")
+    print(f"{'benchmark':<{name_w}} {'':>9} {'p50':>10} {'p95':>10} "
+          f"{'p99':>10}")
+    print("-" * (name_w + 42))
+    for name, b, c in rows:
+        for label, values in (("baseline", b), ("current", c)):
+            if values is None:
+                print(f"{name:<{name_w}} {label:>9} {'(absent)':>32}")
+            else:
+                p50, p95, p99 = (fmt_time(v) for v in values)
+                print(f"{name:<{name_w}} {label:>9} {p50:>10} {p95:>10} "
+                      f"{p99:>10}")
 
 
 def load_memory(path):
@@ -190,6 +241,10 @@ def main():
                         "full_,resyncs", default=None, metavar="PREFIXES",
                         help="also print custom counters whose names start "
                              "with one of these comma-separated prefixes")
+    parser.add_argument("--latency", action="store_true",
+                        help="also print p50/p95/p99 per-iteration wall "
+                             "times for benches that record them "
+                             "(bench_query bound-point lookups)")
     parser.add_argument("--memory", action="store_true",
                         help="also print the per-suite peak-RSS column "
                              "recorded by the rss_run wrapper")
@@ -247,6 +302,8 @@ def main():
         print_counters(args.baseline, args.current,
                        [p for p in args.counters.split(",") if p],
                        args.suite)
+    if args.latency:
+        print_latency(args.baseline, args.current, args.suite)
     if args.memory:
         print_memory(args.baseline, args.current, args.suite)
     if args.speedup:
