@@ -130,10 +130,7 @@ std::vector<Tuple> DemandEvaluator::Run() {
     Fragment& frag = it->second;
     engine_->slice_store().ForEachContribution(
         it->first.str(), [&](const Tuple& t) {
-          if (frag.all.Insert(t)) {
-            frag.pending.push_back(t);
-            ++stats_.fragment_tuples;
-          }
+          if (frag.pending.Insert(t)) ++stats_.fragment_tuples;
         });
   }
 
@@ -144,11 +141,14 @@ std::vector<Tuple> DemandEvaluator::Run() {
     for (const MagicKey& key : pending_activations_) EnsureActivations(key);
     pending_activations_.clear();
 
+    // The rotation is the only place `all` grows (EmitHead and
+    // RegisterDemand checked membership without inserting), so no pass
+    // ever mutates a DeltaSet it may be iterating or probing.
     bool any_delta = false;
     auto rotate = [&](Fragment& f) {
-      f.delta = DeltaSet();
-      for (Tuple& t : f.pending) f.delta.Insert(std::move(t));
-      f.pending.clear();
+      f.delta = std::move(f.pending);
+      f.pending = DeltaSet();
+      for (const Tuple& t : f.delta.tuples()) f.all.Insert(t);
       if (!f.delta.empty()) any_delta = true;
     };
     for (auto it = fragments_.begin(); it != fragments_.end(); ++it) {
@@ -330,9 +330,12 @@ void DemandEvaluator::EmitHead(const Activation& act) {
     results_.insert(std::move(out));
     return;
   }
+  // Semi-naive discipline: a pass may be iterating (or holding a lazy
+  // index into) frag.all right now — e.g. nonlinear recursion probing
+  // its own head's fragment — so only the membership check touches it;
+  // the insert lands in `pending` and reaches `all` at the rotation.
   Fragment& frag = fragments_[act.head_relation];
-  if (frag.all.Insert(out)) {
-    frag.pending.push_back(std::move(out));
+  if (!frag.all.Contains(out) && frag.pending.Insert(std::move(out))) {
     ++stats_.fragment_tuples;
   }
 }
@@ -354,9 +357,12 @@ void DemandEvaluator::RegisterDemand(Symbol relation, const PlanAtom& atom) {
     mask |= uint64_t{1} << j;
   }
   const MagicKey key{relation, mask};
+  // Same no-mutation discipline as EmitHead: the demand-atom probe of
+  // `magic.all` may be live on the stack (a writer's body demanding its
+  // own head's adornment), so new demands go to `pending` only.
   Fragment& magic = magic_[key];
-  if (!magic.all.Insert(keys)) return;  // copies in; already demanded
-  magic.pending.push_back(std::move(keys));
+  if (magic.all.Contains(keys)) return;  // already demanded
+  if (!magic.pending.Insert(std::move(keys))) return;
   ++stats_.demands_registered;
   if (activated_.insert(key).second) pending_activations_.push_back(key);
 }

@@ -80,12 +80,15 @@ class DemandEvaluator {
 
  private:
   /// One demand-reachable relation subset (or one demand set), with the
-  /// semi-naive bookkeeping: `all` for joins and dedup, `delta` for the
-  /// current round's Δ pass, `pending` feeding the next rotation.
+  /// semi-naive bookkeeping: `all` and `delta` are what passes read (and
+  /// may hold live iterators / lazy indexes into), `pending` is the only
+  /// set a pass writes. Rotation — between passes, never during one —
+  /// folds `pending` into `all` and makes it the next round's `delta`,
+  /// so an emit can never rehash a set something is iterating.
   struct Fragment {
     DeltaSet all;
     DeltaSet delta;
-    std::vector<Tuple> pending;
+    DeltaSet pending;
   };
 
   /// A demand set is keyed by (relation, adornment bitmask).

@@ -37,6 +37,8 @@ class DeltaSet {
     return inserted;
   }
 
+  bool Contains(const Tuple& t) const { return tuples_.count(t) != 0; }
+
   const std::unordered_set<Tuple, TupleHasher>& tuples() const {
     return tuples_;
   }

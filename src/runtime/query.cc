@@ -1,8 +1,9 @@
 #include "runtime/query.h"
 
+#include <cctype>
 #include <cstdlib>
-#include <cstring>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -56,8 +57,9 @@ bool DefaultUseDemandEvaluation() {
     Symbol::Intern(kDemandAtomName);
     const char* env = std::getenv("WDL_QUERY_DEMAND");
     if (env == nullptr) return true;
-    return !(std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0 ||
-             std::strcmp(env, "false") == 0);
+    std::string v(env);
+    for (char& c : v) c = static_cast<char>(std::tolower(c));
+    return !(v == "0" || v == "off" || v == "false");
   }();
   return value;
 }

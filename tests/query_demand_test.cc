@@ -132,6 +132,74 @@ TEST_F(QueryDemandTest, JoinThroughIntensionalAndExtensional) {
   EXPECT_EQ(r.rows.size(), 6u);  // y=1, z in 2..7
 }
 
+TEST_F(QueryDemandTest, NonlinearRecursionProbesItsOwnFragment) {
+  // Nonlinear transitive closure: the recursive rule reads its own
+  // head's fragment twice, so EmitHead fires while a probe of that same
+  // fragment (and RegisterDemand while a probe of its own demand set)
+  // is live on the stack. Regression test for the mid-iteration-insert
+  // bug: emits must land in `pending` and only reach `all` at the
+  // rotation, or the live scan/index over `all` is invalidated and the
+  // demand path silently diverges from the oracle.
+  System system;
+  Peer* a = system.CreatePeer("a");
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext edge@a(x: int, y: int);
+    collection int p@a(x: int, y: int);
+    rule p@a($x, $y) :- edge@a($x, $y);
+    rule p@a($x, $z) :- p@a($x, $y), p@a($y, $z);
+  )").ok());
+  const int kNodes = 24;  // long chain => many rounds, many rehashes
+  for (int i = 0; i + 1 < kNodes; ++i) {
+    ASSERT_TRUE(
+        a->engine().InsertFact(Fact("edge", "a", {I(i), I(i + 1)})).ok());
+  }
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult fwd = ExpectModesAgree(&system, "a", "p@a(0, $y)");
+  EXPECT_TRUE(fwd.demand_path);
+  EXPECT_EQ(fwd.rows.size(), static_cast<size_t>(kNodes - 1));
+  // Last-position-bound adornment: the recursive body's first fragment
+  // atom has no bound column, forcing the full-scan probe path.
+  QueryResult bwd = ExpectModesAgree(&system, "a", "p@a($x, 23)");
+  EXPECT_TRUE(bwd.demand_path);
+  EXPECT_EQ(bwd.rows.size(), static_cast<size_t>(kNodes - 1));
+  QueryResult member = ExpectModesAgree(&system, "a", "p@a(3, 19)");
+  EXPECT_TRUE(member.demand_path);
+  EXPECT_EQ(member.rows.size(), 1u);
+}
+
+TEST_F(QueryDemandTest, RecursionOverSeededFragment) {
+  // A slice-store-seeded fragment (received cross-peer contributions)
+  // feeding a local nonlinear-recursive writer: the seeded tuples enter
+  // through `pending` and the first Δ rotation, then the recursion
+  // probes the fragment it is growing — the other reviewer-flagged
+  // route into the mid-iteration insert.
+  System system;
+  Peer* a = system.CreatePeer("a");
+  Peer* b = system.CreatePeer("b");
+  a->gate().TrustPeer("b");
+  b->gate().TrustPeer("a");
+  ASSERT_TRUE(a->LoadProgramText(R"(
+    collection ext link@a(x: int, y: int);
+    rule hop@b($x, $y) :- link@a($x, $y);
+  )").ok());
+  ASSERT_TRUE(b->LoadProgramText(R"(
+    collection int hop@b(x: int, y: int);
+    collection int reach@b(x: int, y: int);
+    rule reach@b($x, $y) :- hop@b($x, $y);
+    rule reach@b($x, $z) :- reach@b($x, $y), reach@b($y, $z);
+  )").ok());
+  for (int i = 0; i + 1 < 10; ++i) {
+    ASSERT_TRUE(
+        a->engine().InsertFact(Fact("link", "a", {I(i), I(i + 1)})).ok());
+  }
+  ASSERT_TRUE(system.RunUntilQuiescent().ok());
+
+  QueryResult r = ExpectModesAgree(&system, "b", "reach@b(0, $y)");
+  EXPECT_TRUE(r.demand_path);
+  EXPECT_EQ(r.rows.size(), 9u);
+}
+
 TEST_F(QueryDemandTest, NegationInConeFallsBack) {
   System system;
   Peer* a = system.CreatePeer("a");
