@@ -32,6 +32,13 @@ DelegationGate::Decision DelegationGate::OnArrival(
   return decision;
 }
 
+void DelegationGate::RestorePending(const Delegation& delegation) {
+  uint64_t key = delegation.Key();
+  if (pending_.emplace(key, delegation).second) {
+    pending_order_.push_back(key);
+  }
+}
+
 bool DelegationGate::OnRetraction(uint64_t delegation_key) {
   auto it = pending_.find(delegation_key);
   if (it == pending_.end()) return false;

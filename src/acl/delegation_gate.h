@@ -76,6 +76,13 @@ class DelegationGate {
   /// Drops the pending delegation without installing.
   Status Reject(uint64_t delegation_key);
 
+  /// Re-enqueues a pending delegation from a durability snapshot —
+  /// exactly the queue entry OnArrival would have created, but without
+  /// an audit entry (the original arrival was already audited in the
+  /// crashed process; recovery is not a new decision). Idempotent by
+  /// key.
+  void RestorePending(const Delegation& delegation);
+
   const std::vector<AuditEntry>& audit_log() const { return audit_log_; }
 
   /// Human-readable queue rendering for the textual UI.

@@ -193,7 +193,8 @@ Engine::ParallelEval* Engine::EnsureParallelEval() {
   return parallel_.get();
 }
 
-Status Engine::LoadProgram(const Program& program) {
+Status Engine::LoadProgram(const Program& program,
+                           std::vector<uint64_t>* rule_ids) {
   WDL_RETURN_IF_ERROR(ValidateProgram(program, options_.dialect));
   for (const RelationDecl& d : program.declarations) {
     WDL_RETURN_IF_ERROR(DeclareRelation(d));
@@ -202,7 +203,8 @@ Status Engine::LoadProgram(const Program& program) {
     WDL_RETURN_IF_ERROR(InsertFact(f).status());
   }
   for (const Rule& r : program.rules) {
-    WDL_RETURN_IF_ERROR(AddRule(r).status());
+    WDL_ASSIGN_OR_RETURN(uint64_t id, AddRule(r));
+    if (rule_ids != nullptr) rule_ids->push_back(id);
   }
   return Status::OK();
 }
@@ -309,6 +311,83 @@ void Engine::RetractDelegatedRule(uint64_t delegation_key) {
   if (rules_.size() != before) NoteRuleSetChanged();
 }
 
+Status Engine::RestoreInstalledRule(uint64_t id, const Rule& rule,
+                                    const std::string& origin_peer,
+                                    uint64_t delegation_key) {
+  WDL_RETURN_IF_ERROR(ValidateNewRule(rule));
+  InstalledRule ir;
+  ir.id = id;
+  ir.rule = rule;
+  ir.origin_peer = origin_peer;
+  ir.delegation_key = delegation_key;
+  ir.rule_hash = rule.Hash();
+  ir.info = ComputeStaticInfo(rule);
+  rules_.push_back(std::move(ir));
+  if (id >= next_rule_id_) next_rule_id_ = id + 1;
+  NoteRuleSetChanged();
+  return Status::OK();
+}
+
+void Engine::SetNextRuleId(uint64_t id) {
+  if (id > next_rule_id_) next_rule_id_ = id;
+}
+
+void Engine::RestoreSliceStream(const std::string& relation,
+                                const std::string& sender, uint64_t version,
+                                const std::vector<Tuple>& tuples) {
+  TupleSet slice;
+  slice.reserve(tuples.size());
+  for (const Tuple& t : tuples) slice.insert(t);
+  slice_store_.RestoreStream(relation, sender, version, std::move(slice));
+}
+
+void Engine::RestoreSentContribution(const std::string& target_peer,
+                                     const std::string& relation,
+                                     uint64_t version,
+                                     const std::vector<Tuple>& tuples) {
+  SentContribution& sent =
+      sent_contributions_[ContributionKey{target_peer, relation}];
+  sent.version = version;
+  sent.tuples.clear();
+  sent.tuples.reserve(tuples.size());
+  for (const Tuple& t : tuples) sent.tuples.insert(t);
+}
+
+void Engine::RestoreSentDelegation(const Delegation& delegation) {
+  sent_delegations_[delegation.Key()] = delegation;
+}
+
+void Engine::ApplyShippedDelta(const DerivedDelta& delta) {
+  SentContribution& sent = sent_contributions_[ContributionKey{
+      delta.target_peer, delta.relation}];
+  if (delta.snapshot) {
+    // Resync snapshots re-ship the current set at the current version;
+    // only a snapshot at-or-ahead of the restored state replaces it.
+    if (delta.version < sent.version) return;
+    sent.version = delta.version;
+    sent.tuples.clear();
+    for (const Tuple& t : delta.inserts) sent.tuples.insert(t);
+    return;
+  }
+  // Deltas move the stream base_version -> version; a replayed
+  // duplicate (version already reached) must not re-apply.
+  if (delta.version <= sent.version) return;
+  sent.version = delta.version;
+  for (const Tuple& t : delta.deletes) sent.tuples.erase(t);
+  for (const Tuple& t : delta.inserts) sent.tuples.insert(t);
+}
+
+void Engine::ApplyShippedDelegationRetract(uint64_t delegation_key) {
+  sent_delegations_.erase(delegation_key);
+}
+
+uint64_t Engine::SentStreamVersion(const std::string& target_peer,
+                                   const std::string& relation) const {
+  auto it =
+      sent_contributions_.find(ContributionKey{target_peer, relation});
+  return it == sent_contributions_.end() ? 0 : it->second.version;
+}
+
 Result<bool> Engine::InsertFact(const Fact& fact) {
   if (fact.peer != self_peer_) {
     return Status::InvalidArgument("InsertFact of remote fact " +
@@ -386,6 +465,19 @@ void Engine::EnqueueResyncRequest(const std::string& peer,
 
 void Engine::NoteLinkReset(const std::string& peer) {
   if (peer == self_peer_) return;
+  if (options_.preserve_streams_on_reset) {
+    // Durable-peer mode: stream versions on both sides survived the
+    // restart, so the amnesty below would only buy redundant full
+    // snapshots. Delegations still re-ship (installs are idempotent by
+    // key and the receiver may genuinely lack one), and any real gap —
+    // deltas shipped while the link was down — surfaces through
+    // heartbeats and is repaired per stream.
+    for (const auto& [dkey, d] : sent_delegations_) {
+      if (d.target_peer == peer) pending_delegation_reships_.insert(dkey);
+    }
+    dirty_ = true;
+    return;
+  }
   // Outbound: re-ship every stream and delegation held for `peer`, as
   // if it had requested a resync of each.
   for (const auto& [key, sent] : sent_contributions_) {
@@ -520,6 +612,7 @@ void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed,
                 : slice_store_.CheckDelta(d.relation, in.sender,
                                           d.base_version, d.version);
         if (gate == SliceStore::Gate::kApply) {
+          if (d.snapshot) ++prop_counters_.snapshots_applied;
           slice_store_.CommitVersion(d.relation, in.sender, d.version);
         } else if (gate == SliceStore::Gate::kGap) {
           uint64_t& missing = resync_needed_[{in.sender, d.relation}];
@@ -569,6 +662,7 @@ void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed,
               : slice_store_.CheckDelta(d.relation, in.sender,
                                         d.base_version, d.version);
       if (gate == SliceStore::Gate::kApply) {
+        if (d.snapshot) ++prop_counters_.snapshots_applied;
         slice_store_.CommitVersion(d.relation, in.sender, d.version);
       } else if (gate == SliceStore::Gate::kGap) {
         uint64_t& missing = resync_needed_[{in.sender, d.relation}];
@@ -624,6 +718,7 @@ void Engine::ApplyInboundDerived(InboundDerived& in, bool* changed,
   switch (gate) {
     case SliceStore::Gate::kApply:
       if (d.snapshot) {
+        ++prop_counters_.snapshots_applied;
         *changed |= slice_store_.ApplySnapshot(d.relation, in.sender,
                                                filtered(d.inserts),
                                                d.version, gained, lost);

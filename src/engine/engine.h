@@ -74,6 +74,16 @@ struct EngineOptions {
   /// delegation-capable rules) fall back to the serial path
   /// transparently.
   int eval_threads = DefaultEvalThreads();
+  /// Durable-peer mode (DESIGN.md §11): on a link reset, keep the
+  /// inbound stream versions and skip the blanket outbound contribution
+  /// re-serve. A durable peer restarts with its stream state intact, so
+  /// the first reconnect needs no amnesty — gaps that do exist (deltas
+  /// shipped while this peer was down) surface through heartbeats and
+  /// are repaired by per-stream resyncs, which is exactly the narrow
+  /// recovery the WAL buys. Only sound when every peer in the cluster
+  /// is durable too (a memory-only peer that restarts really has lost
+  /// its state and needs the amnesty); see OPERATIONS.md.
+  bool preserve_streams_on_reset = false;
 };
 
 /// The full current contribution of one sender to a remote relation.
@@ -157,6 +167,11 @@ struct PropagationCounters {
   uint64_t resyncs_requested = 0;     // gaps this engine detected
   uint64_t heartbeats_shipped = 0;    // version-only stream heartbeats
   uint64_t heartbeat_gaps_detected = 0;  // resyncs triggered by heartbeats
+  /// Inbound versioned snapshots applied (i.e. full re-sends this engine
+  /// accepted). The durability acceptance metric: a cleanly recovered
+  /// peer converges with zero of these — every stream resumes from its
+  /// restored version.
+  uint64_t snapshots_applied = 0;
 };
 
 struct StageResult {
@@ -206,8 +221,12 @@ class Engine {
   const EngineOptions& options() const { return options_; }
 
   /// Declares relations, loads base facts, installs rules; validates the
-  /// whole program under the configured dialect first.
-  Status LoadProgram(const Program& program);
+  /// whole program under the configured dialect first. When `rule_ids`
+  /// is non-null it receives the engine-local id of each installed rule
+  /// in program order (durable peers log the decomposed program as
+  /// individual WAL records and need the ids the rules landed on).
+  Status LoadProgram(const Program& program,
+                     std::vector<uint64_t>* rule_ids = nullptr);
 
   Status DeclareRelation(const RelationDecl& decl);
 
@@ -298,6 +317,58 @@ class Engine {
   /// snapshot instead of a delta the receiver would reject).
   void ForgetSentStream(const std::string& target_peer,
                         const std::string& relation);
+
+  // --- durability restore / WAL replay (DESIGN.md §11) ----------------
+  // Called only by a recovering Peer, between construction and its
+  // first stage. Restore* methods rebuild state verbatim from a
+  // snapshot (no validation beyond structural checks, no dirty-marking
+  // beyond what a fresh engine already carries — a fresh engine always
+  // recomputes its first stage, which rebuilds intensional views from
+  // the restored slices). ApplyShipped* methods replay kStageOutbound
+  // WAL records, advancing the emission diff bases to what receivers
+  // actually hold; they are idempotent under re-replay because versions
+  // only move forward.
+
+  /// Reinstalls a rule under a fixed engine-local id (bumps the id
+  /// allocator past it). `delegation_key` nonzero marks a rule that
+  /// arrived via delegation.
+  Status RestoreInstalledRule(uint64_t id, const Rule& rule,
+                              const std::string& origin_peer,
+                              uint64_t delegation_key);
+  void SetNextRuleId(uint64_t id);
+  uint64_t next_rule_id() const { return next_rule_id_; }
+  /// Rebuilds one inbound contribution stream: the sender's slice and
+  /// its applied version.
+  void RestoreSliceStream(const std::string& relation,
+                          const std::string& sender, uint64_t version,
+                          const std::vector<Tuple>& tuples);
+  /// Rebuilds one outbound diff base: what `target_peer` holds of our
+  /// contribution to `relation`, at `version`.
+  void RestoreSentContribution(const std::string& target_peer,
+                               const std::string& relation, uint64_t version,
+                               const std::vector<Tuple>& tuples);
+  void RestoreSentDelegation(const Delegation& delegation);
+  /// Replays one shipped delta from a kStageOutbound WAL record against
+  /// the sent-contribution state (never against local relations — the
+  /// receiver holds those tuples, not us).
+  void ApplyShippedDelta(const DerivedDelta& delta);
+  void ApplyShippedDelegationRetract(uint64_t delegation_key);
+  /// Current stream version of our contribution to `relation` at
+  /// `target_peer` (0 when no stream exists).
+  uint64_t SentStreamVersion(const std::string& target_peer,
+                             const std::string& relation) const;
+  /// Visits every outbound contribution stream as (target_peer,
+  /// relation, tuple set, version) — snapshot writers iterate this.
+  template <typename Fn>
+  void ForEachSentContribution(Fn&& fn) const {
+    for (const auto& [key, sent] : sent_contributions_) {
+      fn(key.target_peer, key.relation, sent.tuples, sent.version);
+    }
+  }
+  template <typename Fn>
+  void ForEachSentDelegation(Fn&& fn) const {
+    for (const auto& [key, d] : sent_delegations_) fn(d);
+  }
 
   /// Human-readable program listing with provenance markers — the
   /// per-peer program view of the paper's Figure 3.

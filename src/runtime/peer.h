@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "acl/delegation_gate.h"
+#include "durability/durability.h"
 #include "engine/engine.h"
 #include "net/message.h"
 
@@ -15,6 +16,15 @@ namespace wdl {
 
 struct PeerOptions {
   EngineOptions engine;
+  /// Durability (DESIGN.md §11): a non-empty `durability.dir` gives the
+  /// peer a write-ahead log plus periodic snapshots there, and makes a
+  /// Peer constructed over an existing directory recover its state from
+  /// disk before serving anything. Empty (the default) keeps the peer
+  /// fully in-memory — the oracle path, byte-identical to the pre-WAL
+  /// runtime. Enabling durability also flips the engine into
+  /// preserve-streams-on-reset mode (see EngineOptions), which assumes
+  /// every peer of the cluster is durable too.
+  DurabilityOptions durability;
   /// When true, every origin is treated as trusted and delegations
   /// install without approval (the behavior of peers that opted out of
   /// delegation control; the default mirrors the paper: untrusted).
@@ -38,10 +48,21 @@ struct PeerOptions {
 /// Concurrency contract (DESIGN.md §8): a Peer's state is touched by
 /// exactly one thread at a time, but *different* peers' RunStage calls
 /// may run concurrently — everything a stage reads or writes is owned
-/// by this peer (engine, catalog, gate, sequence numbers) or is one of
-/// the process-wide thread-safe structures (the Symbol intern table).
-/// Envelope delivery (HandleEnvelope) and the returned envelopes'
-/// submission stay on the System's driving thread.
+/// by this peer (engine, catalog, gate, sequence numbers, WAL) or is
+/// one of the process-wide thread-safe structures (the Symbol intern
+/// table). Envelope delivery (HandleEnvelope) and the returned
+/// envelopes' submission stay on the System's driving thread.
+///
+/// Durability semantics (DESIGN.md §11), active only with a data dir
+/// configured: every state-changing input — local writes through the
+/// Peer-level API, inbound envelopes, delegation decisions — is
+/// appended to the WAL before/as it applies, each stage's shipped
+/// output is logged so emission diff bases survive, and construction
+/// over an existing directory replays snapshot + log before the peer
+/// serves anything. Writes that bypass the Peer API (calling
+/// engine().InsertFact directly) are NOT logged; durable hosts must go
+/// through Insert/Remove/AddRuleText/RemoveRule. Check
+/// durability_status() after constructing a durable peer.
 class Peer {
  public:
   explicit Peer(std::string name, PeerOptions options = {});
@@ -65,14 +86,13 @@ class Peer {
   Status LoadProgramText(std::string_view source);
   Status LoadProgram(const Program& program);
 
-  /// Convenience passthroughs for the user API.
-  Result<bool> Insert(const Fact& fact) {
-    return EnsureEngine().InsertFact(fact);
-  }
-  Result<bool> Remove(const Fact& fact) {
-    return EnsureEngine().RemoveFact(fact);
-  }
+  /// The user API: immediate base-fact updates and rule edits, WAL-
+  /// logged when durable. Durable hosts must use these (not the engine
+  /// directly) or the write is invisible to recovery.
+  Result<bool> Insert(const Fact& fact);
+  Result<bool> Remove(const Fact& fact);
   Result<uint64_t> AddRuleText(std::string_view rule_text);
+  Status RemoveRule(uint64_t rule_id);
 
   /// Routes one arriving envelope into the engine / delegation gate.
   void HandleEnvelope(const Envelope& envelope);
@@ -117,6 +137,19 @@ class Peer {
   const std::set<std::string>& known_peers() const { return known_peers_; }
   void AddKnownPeer(const std::string& peer) { known_peers_.insert(peer); }
 
+  // --- durability (DESIGN.md §11) -------------------------------------
+  /// Non-null iff this peer was constructed with a data dir and the
+  /// directory opened cleanly.
+  const PeerDurability* durability() const { return durability_.get(); }
+  /// True when construction restored state from disk (snapshot and/or
+  /// WAL records were found and replayed).
+  bool recovered() const { return recovered_; }
+  /// OK for a memory-only peer or a durable peer whose open + recovery
+  /// succeeded. A durable host must check this after construction: a
+  /// non-OK status means the peer is running WITHOUT durability (the
+  /// data dir was unusable or its contents did not replay).
+  const Status& durability_status() const { return durability_status_; }
+
   /// Textual UI: program listing plus the pending-delegation queue
   /// (the paper's Figure 3 view).
   std::string RenderProgramView() const;
@@ -132,6 +165,26 @@ class Peer {
   /// logically has (nothing).
   Engine& EnsureEngine() const;
 
+  /// Appends one record to the WAL; no-op for memory-only peers and
+  /// during replay. A failed append logs and latches
+  /// durability_status_ — the peer keeps serving, degraded to memory-
+  /// only semantics, rather than dropping writes.
+  void LogDurable(const WalRecord& record);
+  /// True when `envelope` must be logged before applying: it carries
+  /// state a recovered peer cannot reconstruct otherwise. Heartbeats,
+  /// Hellos, and resync requests are pure control plane and are
+  /// regenerated by the protocol itself.
+  static bool ShouldLogEnvelope(const Envelope& envelope);
+  /// Applies one replayed WAL record (replaying_ is set by the caller).
+  void ApplyWalRecord(const WalRecord& record);
+  /// Restores snapshot + WAL via durability_; called from the ctor.
+  Status RecoverFromDurability();
+  /// Serializes current peer state for WriteSnapshot.
+  SnapshotData MakeSnapshot() const;
+  /// End-of-stage durability hook: batch fsync, then snapshot + log
+  /// rotation when the interval elapsed.
+  void FinishDurableStage();
+
   std::string name_;
   PeerOptions options_;
   // The only heavyweight member, lazily allocated when lazy_engine is
@@ -140,6 +193,11 @@ class Peer {
   DelegationGate gate_;
   std::set<std::string> known_peers_;
   uint64_t next_seq_ = 0;
+
+  std::unique_ptr<PeerDurability> durability_;
+  bool replaying_ = false;  // WAL replay in progress: do not re-log
+  bool recovered_ = false;
+  Status durability_status_;
 };
 
 }  // namespace wdl

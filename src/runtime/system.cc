@@ -41,6 +41,10 @@ const SimulatedNetwork& System::network() const {
 
 Peer* System::CreatePeer(const std::string& name, PeerOptions options) {
   options.lazy_engine = options_.lazy_peer_state;
+  if (options.durability.dir.empty() && !options_.durability_root.empty()) {
+    options.durability = options_.durability;
+    options.durability.dir = options_.durability_root + "/" + name;
+  }
   auto [it, inserted] =
       peers_.emplace(name, std::make_unique<Peer>(name, options));
   if (!inserted) {

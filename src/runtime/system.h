@@ -48,6 +48,15 @@ struct SystemOptions {
   /// CreatePeer — the pre-lazy runtime, kept as the fingerprint oracle
   /// (the use_compiled_plans / use_incremental_maintenance pattern).
   bool lazy_peer_state = true;
+  /// Durability root (DESIGN.md §11). Non-empty makes every peer this
+  /// System creates durable, with its data dir at
+  /// `durability_root/<peer name>` (unless the peer's own
+  /// PeerOptions::durability.dir is already set). Empty (the default)
+  /// keeps peers fully in-memory. Per-peer knobs (fsync policy,
+  /// snapshot interval) come from `durability`, applied to every
+  /// created peer.
+  std::string durability_root;
+  DurabilityOptions durability;
 };
 
 /// Counters for one RunRound call.

@@ -111,6 +111,16 @@ std::vector<std::string> SliceStore::SendersForRelation(
   return out;
 }
 
+void SliceStore::RestoreStream(const std::string& relation,
+                               const std::string& sender, uint64_t version,
+                               TupleSet slice) {
+  Stream& stream = streams_[relation][sender];
+  for (const Tuple& t : stream.slice) DropSupport(relation, t);
+  for (const Tuple& t : slice) AddSupport(relation, t);
+  stream.slice = std::move(slice);
+  stream.version = version;
+}
+
 void SliceStore::ResetStreamVersions(const std::string& sender) {
   for (auto& [relation, senders] : streams_) {
     auto it = senders.find(sender);

@@ -137,6 +137,26 @@ class SliceStore {
   /// of being dropped as stale.
   void ResetStreamVersions(const std::string& sender);
 
+  /// Rebuilds one stream verbatim from a durability snapshot: slice
+  /// content and applied version, with support counts re-derived.
+  /// Restore-only — replaces whatever stream exists, reporting no
+  /// transitions (the recovering engine rebuilds views from scratch on
+  /// its first stage anyway).
+  void RestoreStream(const std::string& relation, const std::string& sender,
+                     uint64_t version, TupleSet slice);
+
+  /// Visits every stream as fn(relation, sender, version, slice) in
+  /// (relation, sender) order — durability snapshot writers iterate
+  /// this, so determinism matters.
+  template <typename Fn>
+  void ForEachStream(Fn&& fn) const {
+    for (const auto& [relation, senders] : streams_) {
+      for (const auto& [sender, stream] : senders) {
+        fn(relation, sender, stream.version, stream.slice);
+      }
+    }
+  }
+
   // --- observability (tests, listings) -------------------------------
   uint64_t StreamVersion(const std::string& relation,
                          const std::string& sender) const;

@@ -1,0 +1,725 @@
+// Durability suite (ISSUE PR10, DESIGN.md §11).
+//
+// The contract under test: a durable peer that dies at ANY point and
+// restarts from its data dir converges to exactly the state of a twin
+// that never crashed — and a peer that shut down cleanly recovers
+// without requesting a single resync or applying a single inbound
+// snapshot (the log covered everything). Crashes are simulated by
+// destroying the System mid-script (in-flight envelopes are lost, like
+// a real process kill) and, for torn writes, by truncating the WAL at
+// every byte offset of its final record.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "durability/durability.h"
+#include "durability/snapshot.h"
+#include "durability/wal.h"
+#include "runtime/fingerprint.h"
+#include "runtime/system.h"
+#include "support/builders.h"
+
+namespace wdl {
+namespace {
+
+using test::I;
+
+std::string MakeTempRoot() {
+  std::string tmpl = ::testing::TempDir() + "/wdl_durability_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr);
+  return tmpl;
+}
+
+// --- WAL unit tests ---------------------------------------------------
+
+TEST(WalTest, AppendAndReadBack) {
+  std::string path = MakeTempRoot() + "/wal.log";
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("alpha").ok());
+    ASSERT_TRUE((*writer)->Append("").ok());  // empty payloads are legal
+    ASSERT_TRUE((*writer)->Append(std::string(5000, 'x')).ok());
+    ASSERT_TRUE((*writer)->Sync().ok());
+  }
+  Result<WalReadResult> read = ReadWalFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_FALSE(read->torn_tail);
+  ASSERT_EQ(read->payloads.size(), 3u);
+  EXPECT_EQ(read->payloads[0], "alpha");
+  EXPECT_EQ(read->payloads[1], "");
+  EXPECT_EQ(read->payloads[2], std::string(5000, 'x'));
+}
+
+TEST(WalTest, MissingFileIsEmptyLog) {
+  Result<WalReadResult> read =
+      ReadWalFile(MakeTempRoot() + "/never-created.log");
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->payloads.empty());
+  EXPECT_FALSE(read->torn_tail);
+}
+
+TEST(WalTest, CorruptRecordEndsTheReadablePrefix) {
+  std::string path = MakeTempRoot() + "/wal.log";
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("first").ok());
+    ASSERT_TRUE((*writer)->Append("second").ok());
+    ASSERT_TRUE((*writer)->Append("third").ok());
+  }
+  Result<std::string> bytes = ReadEntireFile(path);
+  ASSERT_TRUE(bytes.ok());
+  // Flip one payload byte of the middle record: its CRC fails, so only
+  // the first record survives — a mid-file corruption must not let
+  // later records replay against a state missing the damaged one.
+  std::string damaged = *bytes;
+  damaged[8 + 5 + 8 + 2] ^= 0x40;
+  ASSERT_TRUE(AtomicWriteFile(path, damaged).ok());
+  Result<WalReadResult> read = ReadWalFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->torn_tail);
+  ASSERT_EQ(read->payloads.size(), 1u);
+  EXPECT_EQ(read->payloads[0], "first");
+}
+
+// Truncate the log at every byte offset inside its final record: every
+// prefix must read back as exactly the complete frames it contains,
+// flagging the remainder as a torn tail (the wire_corruption_test
+// truncation-sweep pattern, applied to the log).
+TEST(WalTest, TornFinalRecordTruncationSweep) {
+  std::string dir = MakeTempRoot();
+  std::string path = dir + "/wal.log";
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Append("steady-one").ok());
+    ASSERT_TRUE((*writer)->Append("steady-two").ok());
+    ASSERT_TRUE((*writer)->Append("the final record, cut short").ok());
+  }
+  Result<WalReadResult> intact = ReadWalFile(path);
+  ASSERT_TRUE(intact.ok());
+  ASSERT_EQ(intact->payloads.size(), 3u);
+  Result<std::string> bytes = ReadEntireFile(path);
+  ASSERT_TRUE(bytes.ok());
+  const uint64_t full = bytes->size();
+  const uint64_t last_start = intact->offsets[2];
+  for (uint64_t cut = last_start; cut < full; ++cut) {
+    std::string trimmed = dir + "/trimmed.log";
+    ASSERT_TRUE(AtomicWriteFile(trimmed, bytes->substr(0, cut)).ok());
+    Result<WalReadResult> read = ReadWalFile(trimmed);
+    ASSERT_TRUE(read.ok()) << "cut at " << cut;
+    EXPECT_EQ(read->payloads.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(read->valid_bytes, last_start) << "cut at " << cut;
+    EXPECT_EQ(read->torn_tail, cut != last_start) << "cut at " << cut;
+    EXPECT_EQ(read->dropped_bytes, cut - last_start) << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotTest, RoundTripAndCorruptionRejected) {
+  SnapshotData snap;
+  snap.peer = "alice";
+  snap.next_rule_id = 7;
+  snap.next_seq = 42;
+  snap.known_peers = {"bob", "carol"};
+  SnapshotData::RelationState rs;
+  rs.decl.relation = "data";
+  rs.decl.peer = "alice";
+  rs.decl.kind = RelationKind::kExtensional;
+  rs.decl.columns.resize(1);
+  rs.decl.columns[0].name = "x";
+  rs.decl.columns[0].type = ValueKind::kInt;
+  rs.tuples = {{I(1)}, {I(2)}};
+  snap.relations.push_back(rs);
+  SnapshotData::StreamState ss;
+  ss.relation = "view";
+  ss.sender = "bob";
+  ss.version = 9;
+  ss.tuples = {{I(5)}};
+  snap.slices.push_back(ss);
+  SnapshotData::SentState sent;
+  sent.target_peer = "bob";
+  sent.relation = "view";
+  sent.version = 4;
+  sent.tuples = {{I(6)}};
+  snap.sent.push_back(sent);
+
+  std::string bytes = EncodeSnapshot(snap);
+  Result<SnapshotData> decoded = DecodeSnapshot(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->peer, "alice");
+  EXPECT_EQ(decoded->next_rule_id, 7u);
+  EXPECT_EQ(decoded->next_seq, 42u);
+  EXPECT_EQ(decoded->known_peers, snap.known_peers);
+  ASSERT_EQ(decoded->relations.size(), 1u);
+  EXPECT_EQ(decoded->relations[0].tuples.size(), 2u);
+  ASSERT_EQ(decoded->slices.size(), 1u);
+  EXPECT_EQ(decoded->slices[0].version, 9u);
+  ASSERT_EQ(decoded->sent.size(), 1u);
+  EXPECT_EQ(decoded->sent[0].version, 4u);
+
+  for (size_t i = 0; i < bytes.size(); i += 7) {
+    std::string damaged = bytes;
+    damaged[i] ^= 0x01;
+    EXPECT_FALSE(DecodeSnapshot(damaged).ok()) << "flip at " << i;
+  }
+}
+
+TEST(WalRecordTest, AllTypesRoundTrip) {
+  std::vector<WalRecord> records;
+  {
+    WalRecord r;
+    r.type = WalRecordType::kEnvelope;
+    r.envelope.from = "bob";
+    r.envelope.to = "alice";
+    r.envelope.seq = 3;
+    r.envelope.message = Message::FactInserts({Fact("data", "alice", {I(1)})});
+    records.push_back(r);
+  }
+  {
+    WalRecord r;
+    r.type = WalRecordType::kLocalFactInsert;
+    r.fact = Fact("data", "alice", {I(2)});
+    records.push_back(r);
+    r.type = WalRecordType::kLocalFactDelete;
+    records.push_back(r);
+  }
+  {
+    WalRecord r;
+    r.type = WalRecordType::kLocalDecl;
+    r.decl.relation = "data";
+    r.decl.peer = "alice";
+    r.decl.kind = RelationKind::kExtensional;
+    r.decl.columns.resize(2);
+    r.decl.columns[0].name = "x";
+    r.decl.columns[0].type = ValueKind::kInt;
+    r.decl.columns[1].name = "who";
+    r.decl.columns[1].type = ValueKind::kString;
+    records.push_back(r);
+  }
+  {
+    WalRecord r;
+    r.type = WalRecordType::kLocalRuleRemove;
+    r.id = 12;
+    records.push_back(r);
+    r.type = WalRecordType::kDelegationApprove;
+    records.push_back(r);
+    r.type = WalRecordType::kDelegationReject;
+    records.push_back(r);
+  }
+  {
+    WalRecord r;
+    r.type = WalRecordType::kStageOutbound;
+    DerivedDelta d;
+    d.target_peer = "bob";
+    d.relation = "view";
+    d.base_version = 2;
+    d.version = 3;
+    d.inserts = {{I(7)}};
+    d.deletes = {{I(6)}};
+    r.shipped_deltas.push_back(d);
+    r.shipped_delegation_retracts = {99, 100};
+    records.push_back(r);
+  }
+  for (const WalRecord& r : records) {
+    std::string bytes = EncodeWalRecord(r);
+    Result<WalRecord> decoded = DecodeWalRecord(bytes);
+    ASSERT_TRUE(decoded.ok()) << WalRecordTypeToString(r.type) << ": "
+                              << decoded.status();
+    EXPECT_EQ(decoded->type, r.type);
+    EXPECT_EQ(EncodeWalRecord(*decoded), bytes)
+        << WalRecordTypeToString(r.type);
+  }
+  EXPECT_FALSE(DecodeWalRecord("").ok());
+  // Unknown record type.
+  EXPECT_FALSE(DecodeWalRecord("\x7F").ok());
+  // Valid record followed by trailing garbage.
+  WalRecord rr;
+  rr.type = WalRecordType::kLocalRuleRemove;
+  rr.id = 1;
+  EXPECT_FALSE(DecodeWalRecord(EncodeWalRecord(rr) + "x").ok());
+}
+
+// --- peer recovery scenarios -----------------------------------------
+
+/// One scripted step against the live system; peers are looked up by
+/// name so the script can be replayed against a recovered system.
+using Op = std::function<void(System&)>;
+
+SystemOptions DurableSystemOptions(const std::string& root) {
+  SystemOptions o;
+  o.durability_root = root;
+  // Interval 1 would heartbeat on every round and RunUntilQuiescent
+  // could never observe an empty round.
+  o.heartbeat_interval_rounds = 2;
+  return o;
+}
+
+Fact DataFact(const std::string& peer, int64_t x) {
+  return Fact("data", peer, {I(x)});
+}
+
+/// The shared two-peer script: declarations, a remote-headed rule
+/// (contribution streams), a delegating rule (residual rule installed
+/// at bob), inserts, deletes, and interleaved convergence points.
+std::vector<Op> TwoPeerScript() {
+  std::vector<Op> ops;
+  ops.push_back([](System& s) {
+    ASSERT_TRUE(s.GetPeer("alice")
+                    ->LoadProgramText("collection ext data@alice(x: int);"
+                                      "collection int both@alice(x: int);")
+                    .ok());
+  });
+  ops.push_back([](System& s) {
+    ASSERT_TRUE(s.GetPeer("bob")
+                    ->LoadProgramText("collection ext data@bob(x: int);"
+                                      "collection int view@bob(x: int);")
+                    .ok());
+  });
+  ops.push_back([](System& s) {
+    ASSERT_TRUE(s.GetPeer("alice")
+                    ->AddRuleText("rule view@bob($x) :- data@alice($x);")
+                    .ok());
+  });
+  ops.push_back([](System& s) {
+    for (int64_t x = 1; x <= 3; ++x) {
+      ASSERT_TRUE(s.GetPeer("alice")->Insert(DataFact("alice", x)).ok());
+    }
+  });
+  ops.push_back([](System& s) {
+    for (int64_t x = 2; x <= 4; ++x) {
+      ASSERT_TRUE(s.GetPeer("bob")->Insert(DataFact("bob", x)).ok());
+    }
+  });
+  ops.push_back([](System& s) { ASSERT_TRUE(s.RunUntilQuiescent().ok()); });
+  ops.push_back([](System& s) {
+    // Body spans both peers: the bob-resident part delegates.
+    ASSERT_TRUE(s.GetPeer("alice")
+                    ->AddRuleText(
+                        "rule both@alice($x) :- data@alice($x), data@bob($x);")
+                    .ok());
+  });
+  ops.push_back([](System& s) { ASSERT_TRUE(s.RunUntilQuiescent().ok()); });
+  ops.push_back([](System& s) {
+    ASSERT_TRUE(s.GetPeer("alice")->Insert(DataFact("alice", 5)).ok());
+    ASSERT_TRUE(s.GetPeer("bob")->Insert(DataFact("bob", 5)).ok());
+  });
+  ops.push_back([](System& s) {
+    ASSERT_TRUE(s.GetPeer("alice")->Remove(DataFact("alice", 2)).ok());
+  });
+  ops.push_back([](System& s) { ASSERT_TRUE(s.RunUntilQuiescent().ok()); });
+  ops.push_back([](System& s) {
+    ASSERT_TRUE(s.GetPeer("bob")->Insert(DataFact("bob", 1)).ok());
+    ASSERT_TRUE(s.GetPeer("alice")->Insert(DataFact("alice", 4)).ok());
+  });
+  return ops;
+}
+
+void CreateScriptPeers(System& system) {
+  PeerOptions options;
+  options.trust_all_delegations = true;
+  system.CreatePeer("alice", options);
+  system.CreatePeer("bob", options);
+}
+
+/// Converges a possibly-just-recovered system: plain rounds first so
+/// heartbeats fire and any post-crash stream gaps get detected and
+/// repaired, then drain to quiescence.
+void SettleWithHeartbeats(System& system) {
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int i = 0; i < 6; ++i) system.RunRound();
+    ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  }
+}
+
+/// Runs the script start-to-finish with no crash and returns the
+/// converged fingerprint — the oracle every crashed run must match.
+std::string NeverCrashedFingerprint(const std::vector<Op>& ops,
+                                    bool durable) {
+  std::string root = MakeTempRoot();
+  SystemOptions sys =
+      durable ? DurableSystemOptions(root) : SystemOptions{};
+  sys.heartbeat_interval_rounds = 2;
+  System system(sys);
+  CreateScriptPeers(system);
+  for (const Op& op : ops) {
+    op(system);
+    if (::testing::Test::HasFatalFailure()) return "";
+  }
+  SettleWithHeartbeats(system);
+  return GlobalStateFingerprint(system);
+}
+
+// Kill the whole process group at every script position: run ops
+// [0, crash_at), destroy the System (in-flight envelopes die with it),
+// recover a fresh System over the same data dirs, run the remaining
+// ops, converge. Every run must land on the never-crashed twin's
+// fingerprint.
+TEST(DurabilityRecoveryTest, CrashAtEveryScriptPositionConverges) {
+  std::vector<Op> ops = TwoPeerScript();
+  std::string oracle = NeverCrashedFingerprint(ops, /*durable=*/false);
+  ASSERT_FALSE(oracle.empty());
+
+  for (size_t crash_at = 0; crash_at <= ops.size(); ++crash_at) {
+    SCOPED_TRACE("crash after op " + std::to_string(crash_at));
+    std::string root = MakeTempRoot();
+    {
+      System system(DurableSystemOptions(root));
+      CreateScriptPeers(system);
+      for (size_t i = 0; i < crash_at; ++i) ops[i](system);
+      ASSERT_FALSE(::testing::Test::HasFatalFailure());
+      // System (and its network, with anything still in flight) is
+      // destroyed here without any orderly shutdown: the crash.
+    }
+    System recovered(DurableSystemOptions(root));
+    CreateScriptPeers(recovered);
+    for (size_t i = crash_at; i < ops.size(); ++i) ops[i](recovered);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    SettleWithHeartbeats(recovered);
+    EXPECT_EQ(GlobalStateFingerprint(recovered), oracle);
+  }
+}
+
+// The acceptance bar for clean restarts: recovery must converge from
+// the log alone — zero resync requests, zero inbound snapshots applied
+// — because nothing was in flight when the processes died.
+TEST(DurabilityRecoveryTest, CleanShutdownRecoversWithoutAnyResync) {
+  std::vector<Op> ops = TwoPeerScript();
+  std::string root = MakeTempRoot();
+  std::string before;
+  {
+    System system(DurableSystemOptions(root));
+    CreateScriptPeers(system);
+    for (const Op& op : ops) op(system);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    SettleWithHeartbeats(system);
+    before = GlobalStateFingerprint(system);
+  }
+  System recovered(DurableSystemOptions(root));
+  CreateScriptPeers(recovered);
+  EXPECT_TRUE(recovered.GetPeer("alice")->recovered());
+  EXPECT_TRUE(recovered.GetPeer("bob")->recovered());
+  SettleWithHeartbeats(recovered);
+  EXPECT_EQ(GlobalStateFingerprint(recovered), before);
+  for (const char* name : {"alice", "bob"}) {
+    const PropagationCounters& pc =
+        recovered.GetPeer(name)->engine().propagation_counters();
+    EXPECT_EQ(pc.resyncs_requested, 0u) << name;
+    EXPECT_EQ(pc.snapshots_applied, 0u) << name;
+  }
+}
+
+// A peer that wrote nothing durable yet must recover as a blank slate
+// (no snapshot, no WAL) and work normally afterwards.
+TEST(DurabilityRecoveryTest, EmptyDataDirIsAFreshPeer) {
+  std::string root = MakeTempRoot();
+  { System system(DurableSystemOptions(root)); CreateScriptPeers(system); }
+  System again(DurableSystemOptions(root));
+  CreateScriptPeers(again);
+  Peer* alice = again.GetPeer("alice");
+  EXPECT_FALSE(alice->recovered());
+  ASSERT_TRUE(alice->durability_status().ok());
+  ASSERT_TRUE(
+      alice->LoadProgramText("collection ext data@alice(x: int);").ok());
+  ASSERT_TRUE(alice->Insert(DataFact("alice", 1)).ok());
+  ASSERT_TRUE(again.RunUntilQuiescent().ok());
+}
+
+// With snapshot_interval_records = 1 every stage rotates the log, so
+// recovery is snapshot-driven with an (almost) empty WAL suffix.
+TEST(DurabilityRecoveryTest, SnapshotOnlyRecovery) {
+  std::vector<Op> ops = TwoPeerScript();
+  std::string root = MakeTempRoot();
+  std::string before;
+  {
+    SystemOptions sys = DurableSystemOptions(root);
+    sys.durability.snapshot_interval_records = 1;
+    System system(sys);
+    CreateScriptPeers(system);
+    for (const Op& op : ops) op(system);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    SettleWithHeartbeats(system);
+    before = GlobalStateFingerprint(system);
+    EXPECT_GT(
+        system.GetPeer("alice")->durability()->counters().snapshots_written,
+        0u);
+  }
+  System recovered(DurableSystemOptions(root));
+  CreateScriptPeers(recovered);
+  ASSERT_TRUE(recovered.GetPeer("alice")->recovered());
+  EXPECT_TRUE(recovered.GetPeer("alice")
+                  ->durability()
+                  ->counters()
+                  .snapshot_recovered);
+  SettleWithHeartbeats(recovered);
+  EXPECT_EQ(GlobalStateFingerprint(recovered), before);
+}
+
+// Re-appending an already-replayed WAL suffix (a crash between
+// snapshot rename and log rotation can replay covered records) must
+// not change the recovered state: every record type is idempotent.
+TEST(DurabilityRecoveryTest, DuplicateReplayIsIdempotent) {
+  std::vector<Op> ops = TwoPeerScript();
+  std::string root = MakeTempRoot();
+  std::string before;
+  {
+    System system(DurableSystemOptions(root));
+    CreateScriptPeers(system);
+    for (const Op& op : ops) op(system);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    SettleWithHeartbeats(system);
+    before = GlobalStateFingerprint(system);
+  }
+  for (const char* name : {"alice", "bob"}) {
+    std::string wal = root + "/" + name + "/wal-0.log";
+    Result<WalReadResult> read = ReadWalFile(wal);
+    ASSERT_TRUE(read.ok());
+    ASSERT_FALSE(read->payloads.empty()) << name;
+    auto writer = WalWriter::Open(wal);
+    ASSERT_TRUE(writer.ok());
+    for (const std::string& payload : read->payloads) {
+      ASSERT_TRUE((*writer)->Append(payload).ok());
+    }
+  }
+  System recovered(DurableSystemOptions(root));
+  CreateScriptPeers(recovered);
+  SettleWithHeartbeats(recovered);
+  EXPECT_EQ(GlobalStateFingerprint(recovered), before);
+}
+
+// Truncate alice's WAL mid-final-record before recovery: the torn tail
+// is dropped, recovery proceeds from the clean prefix, and the
+// protocol (heartbeats -> resync) repairs whatever the lost suffix
+// covered.
+TEST(DurabilityRecoveryTest, TornFinalRecordIsDroppedAndRepaired) {
+  std::vector<Op> ops = TwoPeerScript();
+  std::string oracle = NeverCrashedFingerprint(ops, /*durable=*/false);
+  std::string root = MakeTempRoot();
+  {
+    System system(DurableSystemOptions(root));
+    CreateScriptPeers(system);
+    for (const Op& op : ops) op(system);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    SettleWithHeartbeats(system);
+  }
+  std::string wal = root + "/alice/wal-0.log";
+  Result<std::string> bytes = ReadEntireFile(wal);
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_GT(bytes->size(), 3u);
+  ASSERT_TRUE(TruncateFile(wal, bytes->size() - 3).ok());
+
+  System recovered(DurableSystemOptions(root));
+  CreateScriptPeers(recovered);
+  ASSERT_TRUE(recovered.GetPeer("alice")->durability_status().ok());
+  EXPECT_TRUE(recovered.GetPeer("alice")
+                  ->durability()
+                  ->counters()
+                  .torn_tail_truncated);
+  SettleWithHeartbeats(recovered);
+  EXPECT_EQ(GlobalStateFingerprint(recovered), oracle);
+}
+
+// The headline recovery property: a receiver that missed deltas while
+// it was "down" (here: a fully lossy link) repairs EXACTLY the gapped
+// stream on restart — one resync, one applied snapshot, not a blanket
+// re-send of every relation.
+TEST(DurabilityRecoveryTest, RecoveryResyncsOnlyTheGappedStream) {
+  std::string root = MakeTempRoot();
+  auto load = [](System& s) {
+    ASSERT_TRUE(s.GetPeer("alice")
+                    ->LoadProgramText("collection ext data@alice(x: int);")
+                    .ok());
+    ASSERT_TRUE(s.GetPeer("bob")
+                    ->LoadProgramText("collection int view@bob(x: int);"
+                                      "collection int tally@bob(x: int);")
+                    .ok());
+    ASSERT_TRUE(s.GetPeer("alice")
+                    ->AddRuleText("rule view@bob($x) :- data@alice($x);")
+                    .ok());
+  };
+  // Phase 1: converge healthy, shut down cleanly.
+  {
+    System system(DurableSystemOptions(root));
+    CreateScriptPeers(system);
+    load(system);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    for (int64_t x = 1; x <= 3; ++x) {
+      ASSERT_TRUE(system.GetPeer("alice")->Insert(DataFact("alice", x)).ok());
+    }
+    ASSERT_TRUE(system.RunUntilQuiescent().ok());
+  }
+  // Phase 2: alice advances her stream while every frame to bob is
+  // lost — bob's applied version falls behind alice's logged one.
+  {
+    SystemOptions sys = DurableSystemOptions(root);
+    sys.heartbeat_interval_rounds = 0;  // heartbeats would never arrive
+    System system(sys);
+    CreateScriptPeers(system);
+    LinkConfig lossy;
+    lossy.drop_probability = 1.0;
+    system.network().SetLink("alice", "bob", lossy);
+    ASSERT_TRUE(system.GetPeer("alice")->Insert(DataFact("alice", 9)).ok());
+    for (int i = 0; i < 6; ++i) system.RunRound();
+  }
+  // Phase 3: healthy restart. Bob heartbeat-detects the one gapped
+  // stream and requests exactly one resync.
+  System recovered(DurableSystemOptions(root));
+  CreateScriptPeers(recovered);
+  ASSERT_TRUE(recovered.GetPeer("bob")->recovered());
+  SettleWithHeartbeats(recovered);
+  const PropagationCounters& bob =
+      recovered.GetPeer("bob")->engine().propagation_counters();
+  EXPECT_EQ(bob.resyncs_requested, 1u);
+  EXPECT_EQ(bob.snapshots_applied, 1u);
+  const Relation* view =
+      recovered.GetPeer("bob")->engine().catalog().Get("view");
+  ASSERT_NE(view, nullptr);
+  EXPECT_EQ(view->size(), 4u);  // 1..3 plus the delayed 9
+}
+
+// Delegation control-plane decisions survive: a pending delegation is
+// restored into the gate, and an approval is replayed so the rule is
+// installed after recovery.
+TEST(DurabilityRecoveryTest, PendingDelegationAndApprovalSurvive) {
+  std::string root = MakeTempRoot();
+  auto create = [](System& s) {
+    PeerOptions alice_opts;
+    alice_opts.trust_all_delegations = true;
+    s.CreatePeer("alice", alice_opts);
+    s.CreatePeer("bob");  // untrusting: delegations queue at the gate
+  };
+  {
+    System system(DurableSystemOptions(root));
+    create(system);
+    ASSERT_TRUE(system.GetPeer("alice")
+                    ->LoadProgramText("collection ext data@alice(x: int);"
+                                      "collection int both@alice(x: int);")
+                    .ok());
+    ASSERT_TRUE(system.GetPeer("bob")
+                    ->LoadProgramText("collection ext data@bob(x: int);")
+                    .ok());
+    ASSERT_TRUE(system.GetPeer("alice")
+                    ->AddRuleText(
+                        "rule both@alice($x) :- data@alice($x), data@bob($x);")
+                    .ok());
+    ASSERT_TRUE(system.GetPeer("alice")->Insert(DataFact("alice", 1)).ok());
+    ASSERT_TRUE(system.GetPeer("bob")->Insert(DataFact("bob", 1)).ok());
+    ASSERT_TRUE(system.RunUntilQuiescent().ok());
+    ASSERT_EQ(system.GetPeer("bob")->gate().pending_count(), 1u);
+  }
+  // Crash with the delegation still pending; it must come back.
+  uint64_t key = 0;
+  {
+    System recovered(DurableSystemOptions(root));
+    create(recovered);
+    Peer* bob = recovered.GetPeer("bob");
+    ASSERT_EQ(bob->gate().pending_count(), 1u);
+    key = bob->gate().Pending()[0]->Key();
+    ASSERT_TRUE(bob->ApproveDelegation(key).ok());
+    ASSERT_TRUE(recovered.RunUntilQuiescent().ok());
+    const Relation* both =
+        recovered.GetPeer("alice")->engine().catalog().Get("both");
+    ASSERT_NE(both, nullptr);
+    EXPECT_EQ(both->size(), 1u);
+  }
+  // Crash again after the approval: the installed rule must survive.
+  System again(DurableSystemOptions(root));
+  create(again);
+  EXPECT_EQ(again.GetPeer("bob")->gate().pending_count(), 0u);
+  SettleWithHeartbeats(again);
+  const Relation* both = again.GetPeer("alice")->engine().catalog().Get("both");
+  ASSERT_NE(both, nullptr);
+  EXPECT_EQ(both->size(), 1u);
+}
+
+// Durable and memory-only must be byte-identical when nothing crashes:
+// the WAL is an oracle-pattern addition, not a semantic change.
+TEST(DurabilityRecoveryTest, DurableRunMatchesMemoryOnlyRun) {
+  std::vector<Op> ops = TwoPeerScript();
+  std::string memory_only = NeverCrashedFingerprint(ops, /*durable=*/false);
+  std::string durable = NeverCrashedFingerprint(ops, /*durable=*/true);
+  ASSERT_FALSE(memory_only.empty());
+  EXPECT_EQ(memory_only, durable);
+}
+
+// Recovery under immediate churn: new writes racing the repair
+// machinery right after restart must not corrupt convergence.
+TEST(DurabilityRecoveryTest, RecoveryWithImmediateChurnConverges) {
+  std::vector<Op> ops = TwoPeerScript();
+  std::string root = MakeTempRoot();
+  {
+    System system(DurableSystemOptions(root));
+    CreateScriptPeers(system);
+    for (size_t i = 0; i < 6; ++i) ops[i](system);
+    ASSERT_FALSE(::testing::Test::HasFatalFailure());
+    // Crash with traffic in flight (no settling).
+    ops[8](system);
+  }
+  System recovered(DurableSystemOptions(root));
+  CreateScriptPeers(recovered);
+  // Churn immediately, before any round has run.
+  for (int64_t x = 20; x < 24; ++x) {
+    ASSERT_TRUE(recovered.GetPeer("alice")->Insert(DataFact("alice", x)).ok());
+  }
+  for (size_t i = 6; i < ops.size(); ++i) ops[i](recovered);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  SettleWithHeartbeats(recovered);
+
+  // Twin: same total op set, no crash.
+  std::string twin_root = MakeTempRoot();
+  System twin(DurableSystemOptions(twin_root));
+  CreateScriptPeers(twin);
+  for (size_t i = 0; i < 6; ++i) ops[i](twin);
+  ops[8](twin);
+  for (int64_t x = 20; x < 24; ++x) {
+    ASSERT_TRUE(twin.GetPeer("alice")->Insert(DataFact("alice", x)).ok());
+  }
+  for (size_t i = 6; i < ops.size(); ++i) ops[i](twin);
+  ASSERT_FALSE(::testing::Test::HasFatalFailure());
+  SettleWithHeartbeats(twin);
+  EXPECT_EQ(GlobalStateFingerprint(recovered), GlobalStateFingerprint(twin));
+}
+
+TEST(DurabilityRecoveryTest, GenerationsRotateAndOldFilesAreRemoved) {
+  std::string root = MakeTempRoot();
+  DurabilityOptions options;
+  options.dir = root + "/p";
+  options.snapshot_interval_records = 2;
+  Result<std::unique_ptr<PeerDurability>> opened =
+      PeerDurability::Open(options);
+  ASSERT_TRUE(opened.ok());
+  PeerDurability& pd = **opened;
+  WalRecord record;
+  record.type = WalRecordType::kLocalFactInsert;
+  record.fact = Fact("data", "p", {I(1)});
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(pd.Append(record).ok());
+    if (pd.ShouldSnapshot()) {
+      SnapshotData snap;
+      snap.peer = "p";
+      ASSERT_TRUE(pd.WriteSnapshot(snap).ok());
+    }
+  }
+  EXPECT_EQ(pd.generation(), 2u);
+  // Only the current generation's files remain.
+  EXPECT_EQ(::access(pd.SnapshotPath(2).c_str(), F_OK), 0);
+  EXPECT_NE(::access(pd.SnapshotPath(1).c_str(), F_OK), 0);
+  EXPECT_NE(::access((options.dir + "/wal-1.log").c_str(), F_OK), 0);
+
+  // Reopen: the newest snapshot + its (short) log come back.
+  opened = PeerDurability::Open(options);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ((*opened)->generation(), 2u);
+  EXPECT_TRUE((*opened)->counters().snapshot_recovered);
+  EXPECT_EQ((*opened)->counters().wal_records_recovered, 1u);
+}
+
+}  // namespace
+}  // namespace wdl

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -109,7 +110,8 @@ class TcpClusterTest : public ::testing::Test {
   }
 
   /// fork+exec one wdl_peerd; stderr goes to <dir>/<name>.log.
-  void SpawnPeer(const std::string& name) {
+  void SpawnPeer(const std::string& name,
+                 const std::vector<std::string>& extra_args = {}) {
     std::vector<std::string> args = {
         WDL_PEERD_PATH,
         "--name",        name,
@@ -119,6 +121,7 @@ class TcpClusterTest : public ::testing::Test {
         "--fingerprint", dir_ + "/" + name + ".fp",
         "--idle-ms",     "150",
     };
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
     for (const auto& [other, program] : kCluster) {
       (void)program;
       if (other == name) continue;
@@ -235,6 +238,50 @@ TEST_F(TcpClusterTest, ThreeProcessesConvergeAndHealAfterKill) {
   converged = AwaitFingerprints(oracle, 90000);
   if (!converged) DumpStateOnFailure(oracle);
   ASSERT_TRUE(converged) << "post-restart convergence timed out";
+}
+
+// The durable variant (DESIGN.md §11, OPERATIONS.md): every daemon
+// runs with --data-dir, bob is SIGKILLed at convergence and restarted
+// over the same directory. It must come back from disk — the recovery
+// banner in its log, the same fingerprint on the wire, and crucially
+// ZERO resync requests and ZERO applied snapshots: the log covered
+// everything, so nothing is rebuilt over the network.
+TEST_F(TcpClusterTest, DurableClusterRecoversFromDiskWithoutResync) {
+  auto oracle = SimulatorOracle();
+  ASSERT_EQ(oracle.size(), 3u);
+
+  for (const auto& [name, program] : kCluster) {
+    (void)program;
+    SpawnPeer(name, {"--data-dir", dir_ + "/data/" + name});
+  }
+  bool converged = AwaitFingerprints(oracle, 90000);
+  if (!converged) DumpStateOnFailure(oracle);
+  ASSERT_TRUE(converged) << "initial convergence timed out";
+
+  KillPeerHard("bob");
+  ASSERT_EQ(::unlink((dir_ + "/bob.fp").c_str()), 0);
+  // Fresh log so the greps below only see the restarted process.
+  ASSERT_EQ(::unlink((dir_ + "/bob.log").c_str()), 0);
+
+  SpawnPeer("bob", {"--data-dir", dir_ + "/data/bob"});
+  converged = AwaitFingerprints(oracle, 90000);
+  if (!converged) DumpStateOnFailure(oracle);
+  ASSERT_TRUE(converged) << "post-restart convergence timed out";
+
+  std::string log = ReadFileOrEmpty(dir_ + "/bob.log");
+  EXPECT_NE(log.find("wdl_peerd bob recovered from"), std::string::npos)
+      << log;
+  // The daemon prints one parseable counter line per quiescent point;
+  // a recovery that needed the network would show nonzero counters on
+  // some line. Counters are monotonic, so "every occurrence is 0" is
+  // exactly "recovery used the network zero times".
+  EXPECT_NE(log.find("resyncs_requested=0"), std::string::npos) << log;
+  for (const char* key : {"resyncs_requested=", "snapshots_applied="}) {
+    for (size_t at = log.find(key); at != std::string::npos;
+         at = log.find(key, at + 1)) {
+      EXPECT_EQ(log[at + std::strlen(key)], '0') << key << "\n" << log;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repo's markdown docs.
+
+Checks every [text](target) whose target is not an absolute URL or a
+bare #anchor: the referenced file must exist relative to the doc, and
+a #section anchor into a checked markdown file must match one of its
+headings (GitHub slug rules, approximately).
+"""
+import os
+import re
+import sys
+
+DOCS = ["README.md", "DESIGN.md", "OPERATIONS.md", "ROADMAP.md", "CHANGES.md"]
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def slug(heading):
+    s = heading.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s, flags=re.UNICODE)
+    return s.replace(" ", "-")
+
+
+def anchors(path):
+    with open(path, encoding="utf-8") as f:
+        return {slug(m.group(1)) for m in re.finditer(r"^#+\s+(.*)$", f.read(), re.M)}
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    bad = []
+    for doc in DOCS:
+        doc_path = os.path.join(root, doc)
+        if not os.path.exists(doc_path):
+            continue
+        with open(doc_path, encoding="utf-8") as f:
+            text = f.read()
+        for target in LINK.findall(text):
+            if re.match(r"^[a-z]+://", target) or target.startswith("#"):
+                continue
+            file_part, _, anchor = target.partition("#")
+            ref = os.path.normpath(os.path.join(os.path.dirname(doc_path), file_part))
+            if not os.path.exists(ref):
+                bad.append(f"{doc}: broken link target '{target}'")
+            elif anchor and ref.endswith(".md") and slug(anchor) not in anchors(ref):
+                bad.append(f"{doc}: no heading for anchor '{target}'")
+    for b in bad:
+        print(b, file=sys.stderr)
+    print(f"check_doc_links: {len(bad)} broken link(s)")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,10 @@ struct PeerdArgs {
   int heartbeat_rounds = 0;
   int max_runtime_ms = 0;  // 0: run until a signal arrives
   bool trust_all = true;
+  // Durability (OPERATIONS.md): empty --data-dir = memory-only peer.
+  std::string data_dir;
+  std::string fsync = "batch";
+  uint64_t snapshot_every = 4096;
   // name -> "host:port" or "@/path/to/addr/file"
   std::vector<std::pair<std::string, std::string>> peers;
 };
@@ -64,7 +68,8 @@ int Usage(const char* argv0) {
       "usage: %s --name NAME --program FILE [--listen PORT]\n"
       "  [--bind ADDR] [--addr-file PATH] [--peer NAME=HOST:PORT|NAME=@FILE]...\n"
       "  [--fingerprint PATH] [--idle-ms N] [--heartbeat-rounds N]\n"
-      "  [--max-runtime-ms N] [--no-trust]\n",
+      "  [--max-runtime-ms N] [--no-trust]\n"
+      "  [--data-dir DIR] [--fsync never|batch|always] [--snapshot-every N]\n",
       argv0);
   return 2;
 }
@@ -110,6 +115,12 @@ int main(int argc, char** argv) {
       args.max_runtime_ms = std::atoi(v);
     } else if (arg == "--no-trust") {
       args.trust_all = false;
+    } else if (arg == "--data-dir" && (v = next())) {
+      args.data_dir = v;
+    } else if (arg == "--fsync" && (v = next())) {
+      args.fsync = v;
+    } else if (arg == "--snapshot-every" && (v = next())) {
+      args.snapshot_every = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--peer" && (v = next())) {
       std::string spec = v;
       size_t eq = spec.find('=');
@@ -181,16 +192,54 @@ int main(int argc, char** argv) {
   wdl::System system(std::move(network), system_options);
   wdl::PeerOptions peer_options;
   peer_options.trust_all_delegations = args.trust_all;
+  if (!args.data_dir.empty()) {
+    wdl::Result<wdl::FsyncPolicy> policy = wdl::ParseFsyncPolicy(args.fsync);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "%s\n", policy.status().ToString().c_str());
+      return 1;
+    }
+    peer_options.durability.dir = args.data_dir;
+    peer_options.durability.fsync_policy = *policy;
+    peer_options.durability.snapshot_interval_records = args.snapshot_every;
+  }
   wdl::Peer* peer = system.CreatePeer(args.name, peer_options);
+  if (!args.data_dir.empty()) {
+    // A daemon started with --data-dir must not silently run
+    // memory-only: fail hard so the operator sees it.
+    if (!peer->durability_status().ok()) {
+      std::fprintf(stderr, "durability open/recovery failed: %s\n",
+                   peer->durability_status().ToString().c_str());
+      return 1;
+    }
+    const wdl::DurabilityCounters& dc = peer->durability()->counters();
+    std::fprintf(stderr,
+                 "wdl_peerd %s durability: dir=%s fsync=%s generation=%llu "
+                 "snapshot=%s wal_records=%llu torn_tail=%s\n",
+                 args.name.c_str(), args.data_dir.c_str(),
+                 wdl::FsyncPolicyToString(
+                     peer_options.durability.fsync_policy),
+                 static_cast<unsigned long long>(dc.generation),
+                 dc.snapshot_recovered ? "yes" : "no",
+                 static_cast<unsigned long long>(dc.wal_records_recovered),
+                 dc.torn_tail_truncated ? "truncated" : "clean");
+  }
   for (const auto& [remote, where] : args.peers) {
     (void)where;
     peer->AddKnownPeer(remote);
   }
-  wdl::Status loaded = peer->LoadProgramText(program_text.str());
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "program load failed: %s\n",
-                 loaded.ToString().c_str());
-    return 1;
+  if (peer->recovered()) {
+    // State came back from disk; the program already lives in it.
+    // Re-loading would duplicate facts benignly but also re-log the
+    // whole program every restart.
+    std::fprintf(stderr, "wdl_peerd %s recovered from %s\n",
+                 args.name.c_str(), args.data_dir.c_str());
+  } else {
+    wdl::Status loaded = peer->LoadProgramText(program_text.str());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "program load failed: %s\n",
+                   loaded.ToString().c_str());
+      return 1;
+    }
   }
 
   std::signal(SIGTERM, HandleSignal);
@@ -222,6 +271,20 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "cannot write fingerprint %s\n",
                        args.fingerprint_path.c_str());
         }
+      }
+      if (peer->has_engine()) {
+        // One parseable line per quiescent point; the durable-cluster
+        // test greps these to assert recovery needed no full resyncs.
+        const wdl::PropagationCounters& pc =
+            peer->engine().propagation_counters();
+        std::fprintf(
+            stderr,
+            "wdl_peerd %s idle: resyncs_requested=%llu "
+            "snapshots_applied=%llu deltas_shipped=%llu\n",
+            args.name.c_str(),
+            static_cast<unsigned long long>(pc.resyncs_requested),
+            static_cast<unsigned long long>(pc.snapshots_applied),
+            static_cast<unsigned long long>(pc.deltas_shipped));
       }
       published = true;
     }
